@@ -1,0 +1,67 @@
+// Command gen emits the synthetic benchmark circuits used by the
+// evaluation as BLIF files, so the flows can be reproduced with external
+// tools or individual circuits can be inspected.
+//
+// Usage:
+//
+//	gen -list                       # show available circuits
+//	gen s1269 > s1269.blif          # emit one Table-1 circuit
+//	gen -industrial ex5 > ex5.blif  # emit one Table-2 circuit
+//	gen -latches 80 -feedback 0.4 -name custom > custom.blif
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"seqver"
+	"seqver/internal/bench"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list available circuit names")
+	industrial := flag.Bool("industrial", false, "pick from the Table-2 industrial set")
+	latches := flag.Int("latches", 0, "generate a custom circuit with this many latches")
+	feedback := flag.Float64("feedback", 0.3, "feedback latch fraction for custom circuits")
+	name := flag.String("name", "custom", "model name for custom circuits")
+	flag.Parse()
+
+	if *list {
+		fmt.Println("table 1:")
+		for _, sp := range bench.Table1Specs {
+			fmt.Printf("  %-10s %5d latches  %4.0f%% feedback\n", sp.Name, sp.Latches, 100*sp.FeedbackFrac)
+		}
+		fmt.Println("table 2 (industrial, -industrial):")
+		for _, sp := range bench.Table2Specs {
+			fmt.Printf("  %-10s %5d latches\n", sp.Name, sp.Latches)
+		}
+		return
+	}
+
+	var c *seqver.Circuit
+	switch {
+	case *latches > 0:
+		c = bench.Generate(bench.Spec{Name: *name, Latches: *latches, FeedbackFrac: *feedback})
+	case flag.NArg() == 1 && *industrial:
+		for _, sp := range bench.Table2Specs {
+			if sp.Name == flag.Arg(0) {
+				c = bench.GenerateIndustrial(sp)
+			}
+		}
+	case flag.NArg() == 1:
+		for _, sp := range bench.Table1Specs {
+			if sp.Name == flag.Arg(0) {
+				c = bench.Generate(sp)
+			}
+		}
+	}
+	if c == nil {
+		fmt.Fprintln(os.Stderr, "gen: unknown circuit (try -list)")
+		os.Exit(2)
+	}
+	if err := seqver.WriteBLIF(os.Stdout, c); err != nil {
+		fmt.Fprintln(os.Stderr, "gen:", err)
+		os.Exit(1)
+	}
+}

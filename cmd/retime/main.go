@@ -1,0 +1,66 @@
+// Command retime is a standalone Leiserson-Saxe retimer (the Minaret
+// substitute of Section 7.2): minimum-period retiming by default, or
+// constrained minimum-area retiming with -period.
+//
+// Usage:
+//
+//	retime [-period n] [-o out.blif] in.blif
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"seqver"
+)
+
+func main() {
+	period := flag.Int("period", 0, "minimize latches at this clock period (0 = minimize period)")
+	out := flag.String("o", "", "output BLIF path (default stdout)")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: retime [flags] in.blif")
+		os.Exit(2)
+	}
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		fail(err)
+	}
+	c, err := seqver.ParseBLIF(f)
+	f.Close()
+	if err != nil {
+		fail(err)
+	}
+	before, err := seqver.ClockPeriod(c)
+	if err != nil {
+		fail(err)
+	}
+	var res *seqver.RetimeResult
+	if *period == 0 {
+		res, err = seqver.MinPeriodRetime(c)
+	} else {
+		res, err = seqver.MinAreaRetime(c, *period)
+	}
+	if err != nil {
+		fail(err)
+	}
+	fmt.Fprintf(os.Stderr, "period: %d -> %d   latches: %d -> %d   moves: %d\n",
+		before, res.Period, len(c.Latches), res.Latches, res.Moves)
+	w := os.Stdout
+	if *out != "" {
+		w, err = os.Create(*out)
+		if err != nil {
+			fail(err)
+		}
+		defer w.Close()
+	}
+	if err := seqver.WriteBLIF(w, res.Circuit); err != nil {
+		fail(err)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "retime:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,78 @@
+// Command synth runs the combinational-synthesis script (the
+// script.delay substitute of Section 7.3) on a BLIF circuit, keeping
+// latch positions fixed, and optionally technology-maps onto the
+// INV/NAND2/NOR2 library.
+//
+// Usage:
+//
+//	synth [-map] [-o out.blif] in.blif
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"seqver"
+)
+
+func main() {
+	doMap := flag.Bool("map", false, "technology-map after optimization")
+	verilog := flag.Bool("verilog", false, "emit structural Verilog instead of BLIF (implies -map)")
+	out := flag.String("o", "", "output path (default stdout)")
+	flag.Parse()
+	if *verilog {
+		*doMap = true
+	}
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: synth [flags] in.blif")
+		os.Exit(2)
+	}
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		fail(err)
+	}
+	c, err := seqver.ParseBLIF(f)
+	f.Close()
+	if err != nil {
+		fail(err)
+	}
+	before := c.Stats()
+	o, err := seqver.Synthesize(c)
+	if err != nil {
+		fail(err)
+	}
+	if *doMap {
+		var rep seqver.MapReport
+		o, rep, err = seqver.TechMap(o)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "mapped: inv=%d nand=%d nor=%d area=%.1f delay=%d\n",
+			rep.Inv, rep.Nand, rep.Nor, rep.Area, rep.Delay)
+	}
+	after := o.Stats()
+	fmt.Fprintf(os.Stderr, "gates: %d -> %d   levels: %d -> %d   latches: %d -> %d\n",
+		before.Gates, after.Gates, before.Levels, after.Levels, before.Latches, after.Latches)
+	w := os.Stdout
+	if *out != "" {
+		w, err = os.Create(*out)
+		if err != nil {
+			fail(err)
+		}
+		defer w.Close()
+	}
+	if *verilog {
+		err = seqver.WriteVerilog(w, o)
+	} else {
+		err = seqver.WriteBLIF(w, o)
+	}
+	if err != nil {
+		fail(err)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "synth:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,48 @@
+// Command table1 regenerates the paper's Table 1: for each of the 23
+// benchmark circuits it runs the full Figure 19 flow — expose feedback
+// latches, retime+synthesize (min-period and delay-constrained
+// min-area), synthesize-only baseline, CBF unrolling, combinational
+// verification — and prints one row per circuit.
+//
+// Usage:
+//
+//	table1 [-only name] [-maxlatches n]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"seqver/internal/bench"
+)
+
+func main() {
+	only := flag.String("only", "", "run a single named circuit")
+	maxLatches := flag.Int("maxlatches", 0, "skip circuits above this latch count (0 = run all)")
+	flag.Parse()
+
+	bench.WriteTable1Header(os.Stdout)
+	start := time.Now()
+	failures := 0
+	for _, sp := range bench.Table1Specs {
+		if *only != "" && sp.Name != *only {
+			continue
+		}
+		if *maxLatches > 0 && sp.Latches > *maxLatches {
+			continue
+		}
+		row, err := bench.RunTable1Row(sp, bench.Table1Options{})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%-10s | ERROR: %v\n", sp.Name, err)
+			failures++
+			continue
+		}
+		bench.WriteTable1Row(os.Stdout, row)
+	}
+	fmt.Printf("\ntotal: %v\n", time.Since(start).Round(time.Millisecond))
+	if failures > 0 {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,35 @@
+// Command table2 regenerates the paper's Table 2: for each synthetic
+// industrial circuit (Figure 20 shape: FSM cores + glue latches +
+// memory/communication feedback, all latches load-enabled) it reports
+// how many latches the Section 7.1 structural analysis must expose, with
+// and without the designer-preserved memory boundary.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"seqver/internal/bench"
+)
+
+func main() {
+	only := flag.String("only", "", "run a single named circuit")
+	flag.Parse()
+
+	bench.WriteTable2Header(os.Stdout)
+	start := time.Now()
+	for _, sp := range bench.Table2Specs {
+		if *only != "" && sp.Name != *only {
+			continue
+		}
+		row, err := bench.RunTable2Row(sp)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%-6s | ERROR: %v\n", sp.Name, err)
+			os.Exit(1)
+		}
+		bench.WriteTable2Row(os.Stdout, row)
+	}
+	fmt.Printf("\ntotal: %v\n", time.Since(start).Round(time.Millisecond))
+}

@@ -1,0 +1,3 @@
+module seqver
+
+go 1.22

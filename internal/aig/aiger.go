@@ -1,0 +1,230 @@
+package aig
+
+// ASCII AIGER ("aag") reader and writer for combinational AIGs — the
+// standard interchange format of the hardware model-checking community,
+// provided so unrolled CBF/EDBF circuits and miters can be exchanged
+// with external tools.
+//
+// Supported: the combinational subset (M I L O A with L == 0), symbol
+// table entries for inputs and outputs, and comments.
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteAiger emits the AIG in ASCII AIGER format.
+func WriteAiger(w io.Writer, a *AIG) error {
+	bw := bufio.NewWriter(w)
+	m := a.NumNodes() - 1 // AIGER counts variables, excluding constant
+	i := a.NumPIs()
+	o := a.NumPOs()
+	and := a.NumAnds()
+	fmt.Fprintf(bw, "aag %d %d 0 %d %d\n", m, i, o, and)
+	for k := 0; k < i; k++ {
+		fmt.Fprintf(bw, "%d\n", 2*(k+1))
+	}
+	for k := 0; k < o; k++ {
+		fmt.Fprintf(bw, "%d\n", aigerLit(a.PO(k)))
+	}
+	for n := uint32(a.numPIs + 1); n < uint32(a.NumNodes()); n++ {
+		f0, f1 := a.Fanins(n)
+		l0, l1 := aigerLit(f0), aigerLit(f1)
+		if l0 < l1 {
+			l0, l1 = l1, l0 // AIGER convention: rhs0 >= rhs1
+		}
+		fmt.Fprintf(bw, "%d %d %d\n", 2*n, l0, l1)
+	}
+	for k := 0; k < i; k++ {
+		fmt.Fprintf(bw, "i%d %s\n", k, a.PIName(k))
+	}
+	for k := 0; k < o; k++ {
+		fmt.Fprintf(bw, "o%d %s\n", k, a.POName(k))
+	}
+	fmt.Fprintln(bw, "c")
+	fmt.Fprintln(bw, "written by seqver")
+	return bw.Flush()
+}
+
+// aigerLit converts an internal edge to an AIGER literal: our node k is
+// AIGER variable k (the constant is variable 0 in both).
+func aigerLit(l Lit) int {
+	v := 2 * int(l.Node())
+	if l.Compl() {
+		v |= 1
+	}
+	// Our constant edge False is node 0 non-complemented; AIGER's FALSE
+	// is literal 0 as well.
+	return v
+}
+
+// ParseAiger reads an ASCII AIGER file (combinational subset).
+func ParseAiger(r io.Reader) (*AIG, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
+	if !sc.Scan() {
+		return nil, fmt.Errorf("aiger: empty input")
+	}
+	header := strings.Fields(sc.Text())
+	if len(header) != 6 || header[0] != "aag" {
+		return nil, fmt.Errorf("aiger: bad header %q", sc.Text())
+	}
+	nums := make([]int, 5)
+	for i := 0; i < 5; i++ {
+		v, err := strconv.Atoi(header[i+1])
+		if err != nil || v < 0 {
+			return nil, fmt.Errorf("aiger: bad header field %q", header[i+1])
+		}
+		nums[i] = v
+	}
+	maxVar, nIn, nLatch, nOut, nAnd := nums[0], nums[1], nums[2], nums[3], nums[4]
+	const sizeCap = 1 << 26
+	if maxVar > sizeCap || nOut > sizeCap {
+		return nil, fmt.Errorf("aiger: header sizes exceed the supported limit")
+	}
+	if nLatch != 0 {
+		return nil, fmt.Errorf("aiger: %d latches: only the combinational subset is supported", nLatch)
+	}
+	if maxVar < nIn+nAnd {
+		return nil, fmt.Errorf("aiger: M=%d < I+A=%d", maxVar, nIn+nAnd)
+	}
+	readLine := func() (string, error) {
+		if !sc.Scan() {
+			return "", fmt.Errorf("aiger: unexpected end of file")
+		}
+		return strings.TrimSpace(sc.Text()), nil
+	}
+
+	names := make([]string, nIn)
+	for i := range names {
+		names[i] = fmt.Sprintf("i%d", i)
+	}
+	inputVar := make([]int, nIn)
+	for i := 0; i < nIn; i++ {
+		line, err := readLine()
+		if err != nil {
+			return nil, err
+		}
+		v, err := strconv.Atoi(line)
+		if err != nil || v%2 != 0 || v == 0 {
+			return nil, fmt.Errorf("aiger: bad input literal %q", line)
+		}
+		inputVar[i] = v / 2
+	}
+	outLits := make([]int, nOut)
+	for i := 0; i < nOut; i++ {
+		line, err := readLine()
+		if err != nil {
+			return nil, err
+		}
+		v, err := strconv.Atoi(line)
+		if err != nil {
+			return nil, fmt.Errorf("aiger: bad output literal %q", line)
+		}
+		outLits[i] = v
+	}
+	type andRow struct{ lhs, r0, r1 int }
+	ands := make([]andRow, nAnd)
+	for i := 0; i < nAnd; i++ {
+		line, err := readLine()
+		if err != nil {
+			return nil, err
+		}
+		f := strings.Fields(line)
+		if len(f) != 3 {
+			return nil, fmt.Errorf("aiger: bad and line %q", line)
+		}
+		var row andRow
+		if row.lhs, err = strconv.Atoi(f[0]); err != nil {
+			return nil, err
+		}
+		if row.r0, err = strconv.Atoi(f[1]); err != nil {
+			return nil, err
+		}
+		if row.r1, err = strconv.Atoi(f[2]); err != nil {
+			return nil, err
+		}
+		if row.lhs%2 != 0 || row.lhs == 0 {
+			return nil, fmt.Errorf("aiger: and lhs %d not a positive even literal", row.lhs)
+		}
+		ands[i] = row
+	}
+	// Symbol table and comments.
+	outNames := make([]string, nOut)
+	for i := range outNames {
+		outNames[i] = fmt.Sprintf("o%d", i)
+	}
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "c" {
+			break
+		}
+		if line == "" {
+			continue
+		}
+		kind := line[0]
+		rest := line[1:]
+		sp := strings.IndexByte(rest, ' ')
+		if sp < 0 {
+			continue
+		}
+		idx, err := strconv.Atoi(rest[:sp])
+		if err != nil {
+			continue
+		}
+		name := rest[sp+1:]
+		switch kind {
+		case 'i':
+			if idx >= 0 && idx < nIn {
+				names[idx] = name
+			}
+		case 'o':
+			if idx >= 0 && idx < nOut {
+				outNames[idx] = name
+			}
+		}
+	}
+
+	a := New(names)
+	// Map AIGER variable -> our edge.
+	lit := make([]Lit, maxVar+1)
+	for i := range lit {
+		lit[i] = Lit(^uint32(0))
+	}
+	lit[0] = False
+	for i, v := range inputVar {
+		if v > maxVar {
+			return nil, fmt.Errorf("aiger: input var %d > M", v)
+		}
+		lit[v] = a.PI(i)
+	}
+	conv := func(aigerL int) (Lit, error) {
+		v := aigerL / 2
+		if aigerL < 0 || v > maxVar || lit[v] == Lit(^uint32(0)) {
+			return 0, fmt.Errorf("aiger: literal %d references undefined variable", aigerL)
+		}
+		return lit[v].NotIf(aigerL%2 == 1), nil
+	}
+	for _, row := range ands {
+		f0, err := conv(row.r0)
+		if err != nil {
+			return nil, err
+		}
+		f1, err := conv(row.r1)
+		if err != nil {
+			return nil, err
+		}
+		lit[row.lhs/2] = a.And(f0, f1)
+	}
+	for i, ol := range outLits {
+		e, err := conv(ol)
+		if err != nil {
+			return nil, err
+		}
+		a.AddPO(outNames[i], e)
+	}
+	return a, nil
+}

@@ -1,0 +1,103 @@
+package aig
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestAigerRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(263))
+	for trial := 0; trial < 20; trial++ {
+		nv := 3 + rng.Intn(4)
+		a := Compact(randomAIG(rng, nv, 25))
+		var sb strings.Builder
+		if err := WriteAiger(&sb, a); err != nil {
+			t.Fatal(err)
+		}
+		b, err := ParseAiger(strings.NewReader(sb.String()))
+		if err != nil {
+			t.Fatalf("trial %d: %v\n%s", trial, err, sb.String())
+		}
+		if b.NumPIs() != a.NumPIs() || b.NumPOs() != a.NumPOs() {
+			t.Fatalf("trial %d: interface mismatch", trial)
+		}
+		if !equalAIGs(a, b, nv, rng, 200) {
+			t.Fatalf("trial %d: round trip changed function", trial)
+		}
+		// Names survive.
+		for i := 0; i < a.NumPIs(); i++ {
+			if a.PIName(i) != b.PIName(i) {
+				t.Fatalf("PI name %q != %q", a.PIName(i), b.PIName(i))
+			}
+		}
+		for i := 0; i < a.NumPOs(); i++ {
+			if a.POName(i) != b.POName(i) {
+				t.Fatalf("PO name %q != %q", a.POName(i), b.POName(i))
+			}
+		}
+	}
+}
+
+func TestAigerKnownFile(t *testing.T) {
+	// The AIGER spec's canonical and-gate example.
+	src := `aag 3 2 0 1 1
+2
+4
+6
+6 2 4
+i0 x
+i1 y
+o0 z
+c
+example
+`
+	a, err := ParseAiger(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumPIs() != 2 || a.NumPOs() != 1 || a.NumAnds() != 1 {
+		t.Fatalf("shape: %d PIs %d POs %d ANDs", a.NumPIs(), a.NumPOs(), a.NumAnds())
+	}
+	if a.PIName(0) != "x" || a.POName(0) != "z" {
+		t.Fatal("symbol table not applied")
+	}
+	if !a.Eval([]bool{true, true})[0] || a.Eval([]bool{true, false})[0] {
+		t.Fatal("wrong function")
+	}
+}
+
+func TestAigerConstantsAndComplements(t *testing.T) {
+	// Output is constant TRUE (literal 1).
+	src := "aag 1 1 0 2 0\n2\n1\n3\n"
+	a, err := ParseAiger(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := a.Eval([]bool{false})
+	if out[0] != true || out[1] != true { // o1 = ¬i0 at i0=0
+		t.Fatalf("outputs = %v", out)
+	}
+}
+
+func TestAigerErrors(t *testing.T) {
+	bad := []string{
+		"",                             // empty
+		"aig 1 1 0 1 0\n2\n2\n",        // wrong magic
+		"aag 2 1 1 1 0\n2\n4 2\n2",     // latches unsupported
+		"aag 1 1 0 1 0\n3\n2\n",        // odd input literal
+		"aag 1 1 0 1 1\n2\n2\n4 2 2\n", // and var > M
+	}
+	for i, src := range bad {
+		if _, err := ParseAiger(strings.NewReader(src)); err == nil {
+			t.Errorf("case %d accepted:\n%s", i, src)
+		}
+	}
+}
+
+func TestAigerNegativeLiteralRejected(t *testing.T) {
+	src := "aag 1 1 0 1 0\n2\n-2\n"
+	if _, err := ParseAiger(strings.NewReader(src)); err == nil {
+		t.Fatal("negative output literal accepted")
+	}
+}

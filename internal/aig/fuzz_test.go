@@ -1,0 +1,27 @@
+package aig
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseAiger asserts the AIGER reader never panics and that accepted
+// inputs round-trip.
+func FuzzParseAiger(f *testing.F) {
+	f.Add("aag 3 2 0 1 1\n2\n4\n6\n6 2 4\n")
+	f.Add("aag 1 1 0 2 0\n2\n1\n3\n")
+	f.Add("aag 0 0 0 0 0\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		a, err := ParseAiger(strings.NewReader(src))
+		if err != nil {
+			return
+		}
+		var sb strings.Builder
+		if err := WriteAiger(&sb, a); err != nil {
+			t.Fatalf("accepted AIG failed to write: %v", err)
+		}
+		if _, err := ParseAiger(strings.NewReader(sb.String())); err != nil {
+			t.Fatalf("round trip failed: %v\n%s", err, sb.String())
+		}
+	})
+}

@@ -1,0 +1,339 @@
+package aig
+
+// Cut-based refactoring: for every AND node, 4-feasible cuts are
+// enumerated, the cut function's irredundant sum-of-products (Minato-
+// Morreale ISOP) is computed from its 16-entry truth table, and the cone
+// is re-expressed through the ISOP when that is cheaper than the
+// existing structure. This is the local-rewriting member of the
+// synthesis script (the fx/eliminate/simplify work of SIS script.delay,
+// in modern AIG form).
+
+const (
+	cutMaxLeaves  = 4
+	cutMaxPerNode = 8
+)
+
+// cut is a sorted set of leaf node indices with the truth table of the
+// root over those leaves (leaf i -> variable i).
+type cut struct {
+	leaves []uint32
+	tt     uint16
+}
+
+// leafMasks are the projection truth tables of 4 variables.
+var leafMasks = [4]uint16{0xAAAA, 0xCCCC, 0xF0F0, 0xFF00}
+
+// mergeCuts unions two sorted leaf sets; ok is false if the result
+// exceeds cutMaxLeaves.
+func mergeCuts(a, b []uint32) ([]uint32, bool) {
+	out := make([]uint32, 0, cutMaxLeaves)
+	i, j := 0, 0
+	for i < len(a) || j < len(b) {
+		var next uint32
+		switch {
+		case i == len(a):
+			next = b[j]
+			j++
+		case j == len(b):
+			next = a[i]
+			i++
+		case a[i] < b[j]:
+			next = a[i]
+			i++
+		case a[i] > b[j]:
+			next = b[j]
+			j++
+		default:
+			next = a[i]
+			i++
+			j++
+		}
+		if len(out) == cutMaxLeaves {
+			return nil, false
+		}
+		out = append(out, next)
+	}
+	return out, true
+}
+
+// expandTT maps a truth table over `from` (sorted) to one over `to`
+// (sorted superset).
+func expandTT(tt uint16, from, to []uint32) uint16 {
+	if len(from) == len(to) {
+		return tt
+	}
+	var out uint16
+	// position of each `from` leaf inside `to`
+	var pos [4]int
+	j := 0
+	for i, f := range from {
+		for to[j] != f {
+			j++
+		}
+		pos[i] = j
+	}
+	for m := 0; m < 1<<uint(len(to)); m++ {
+		idx := 0
+		for i := range from {
+			if m&(1<<uint(pos[i])) != 0 {
+				idx |= 1 << uint(i)
+			}
+		}
+		if tt&(1<<uint(idx)) != 0 {
+			out |= 1 << uint(m)
+		}
+	}
+	return out
+}
+
+// nodeCuts enumerates cuts bottom-up for every node of a.
+func nodeCuts(a *AIG) [][]cut {
+	cuts := make([][]cut, a.NumNodes())
+	cuts[0] = []cut{{leaves: nil, tt: 0}} // constant false
+	for i := 1; i <= a.numPIs; i++ {
+		cuts[i] = []cut{{leaves: []uint32{uint32(i)}, tt: leafMasks[0]}}
+	}
+	for n := uint32(a.numPIs + 1); n < uint32(a.NumNodes()); n++ {
+		f0, f1 := a.fanin0[n], a.fanin1[n]
+		var out []cut
+		seen := map[string]bool{}
+		add := func(c cut) {
+			if len(out) >= cutMaxPerNode {
+				return
+			}
+			key := keyOf(c.leaves)
+			if seen[key] {
+				return
+			}
+			seen[key] = true
+			out = append(out, c)
+		}
+		// Trivial cut first: the node itself.
+		add(cut{leaves: []uint32{n}, tt: leafMasks[0]})
+		for _, c0 := range cuts[f0.Node()] {
+			for _, c1 := range cuts[f1.Node()] {
+				leaves, ok := mergeCuts(c0.leaves, c1.leaves)
+				if !ok {
+					continue
+				}
+				t0 := expandTT(c0.tt, c0.leaves, leaves)
+				t1 := expandTT(c1.tt, c1.leaves, leaves)
+				if f0.Compl() {
+					t0 = ^t0
+				}
+				if f1.Compl() {
+					t1 = ^t1
+				}
+				tt := t0 & t1
+				// Mask to the used width for stable comparison.
+				tt &= widthMask(len(leaves))
+				add(cut{leaves: leaves, tt: tt})
+			}
+		}
+		cuts[n] = out
+	}
+	return cuts
+}
+
+func widthMask(nLeaves int) uint16 {
+	if nLeaves >= 4 {
+		return 0xFFFF
+	}
+	return uint16(1<<(1<<uint(nLeaves))) - 1
+}
+
+func keyOf(leaves []uint32) string {
+	b := make([]byte, 0, len(leaves)*4)
+	for _, l := range leaves {
+		b = append(b, byte(l), byte(l>>8), byte(l>>16), byte(l>>24))
+	}
+	return string(b)
+}
+
+// isopCube is one product term: per variable, 0 = negative literal,
+// 1 = positive, 2 = absent.
+type isopCube [4]uint8
+
+// isop computes the Minato-Morreale irredundant SOP of the interval
+// [lower, upper] over nVars variables.
+func isop(lower, upper uint16, nVars int, vars []int) []isopCube {
+	lower &= widthMask(nVars)
+	upper &= widthMask(nVars)
+	if lower == 0 {
+		return nil
+	}
+	if ^upper&widthMask(nVars) == 0 {
+		// upper is the constant 1: a single don't-care cube.
+		return []isopCube{{2, 2, 2, 2}}
+	}
+	if len(vars) == 0 {
+		panic("aig: isop ran out of variables")
+	}
+	v := vars[0]
+	rest := vars[1:]
+	l0, l1 := cofactorTT(lower, nVars, v, false), cofactorTT(lower, nVars, v, true)
+	u0, u1 := cofactorTT(upper, nVars, v, false), cofactorTT(upper, nVars, v, true)
+	// Cubes that need ¬v, cubes that need v.
+	c0 := isop(l0&^u1, u0, nVars, rest)
+	c1 := isop(l1&^u0, u1, nVars, rest)
+	cover0 := coverTT(c0, nVars)
+	cover1 := coverTT(c1, nVars)
+	// Remaining onset handled without v.
+	lr := (l0 &^ cover0) | (l1 &^ cover1)
+	cr := isop(lr, u0&u1, nVars, rest)
+	var out []isopCube
+	for _, c := range c0 {
+		c[v] = 0
+		out = append(out, c)
+	}
+	for _, c := range c1 {
+		c[v] = 1
+		out = append(out, c)
+	}
+	out = append(out, cr...)
+	return out
+}
+
+// cofactorTT restricts variable v of a truth table; the result is a
+// table over the same variable set (v becomes vacuous).
+func cofactorTT(tt uint16, nVars, v int, val bool) uint16 {
+	var out uint16
+	for m := 0; m < 1<<uint(nVars); m++ {
+		mm := m
+		if val {
+			mm |= 1 << uint(v)
+		} else {
+			mm &^= 1 << uint(v)
+		}
+		if tt&(1<<uint(mm)) != 0 {
+			out |= 1 << uint(m)
+		}
+	}
+	return out
+}
+
+// coverTT evaluates a cube list into a truth table.
+func coverTT(cubes []isopCube, nVars int) uint16 {
+	var out uint16
+	for m := 0; m < 1<<uint(nVars); m++ {
+		for _, c := range cubes {
+			match := true
+			for v := 0; v < nVars; v++ {
+				switch c[v] {
+				case 0:
+					if m&(1<<uint(v)) != 0 {
+						match = false
+					}
+				case 1:
+					if m&(1<<uint(v)) == 0 {
+						match = false
+					}
+				}
+				if !match {
+					break
+				}
+			}
+			if match {
+				out |= 1 << uint(m)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// isopCost is the AND-node count of the cube-tree implementation.
+func isopCost(cubes []isopCube, nVars int) int {
+	cost := 0
+	for _, c := range cubes {
+		lits := 0
+		for v := 0; v < nVars; v++ {
+			if c[v] != 2 {
+				lits++
+			}
+		}
+		if lits > 0 {
+			cost += lits - 1
+		}
+	}
+	if len(cubes) > 0 {
+		cost += len(cubes) - 1
+	}
+	return cost
+}
+
+// Refactor rebuilds the AIG, re-expressing each node through the
+// cheapest ISOP over one of its 4-feasible cuts whenever that beats the
+// structural copy. Function-preserving; typically area-reducing on
+// redundant structures. The result is compacted.
+func Refactor(a *AIG) *AIG {
+	cuts := nodeCuts(a)
+	out := New(a.PINames())
+	repr := make([]Lit, a.NumNodes())
+	repr[0] = False
+	for i := 1; i <= a.numPIs; i++ {
+		repr[i] = MkLit(uint32(i), false)
+	}
+	for n := uint32(a.numPIs + 1); n < uint32(a.NumNodes()); n++ {
+		// Default: structural copy.
+		e0 := a.fanin0[n]
+		e1 := a.fanin1[n]
+		before := out.NumNodes()
+		def := out.And(repr[e0.Node()].NotIf(e0.Compl()), repr[e1.Node()].NotIf(e1.Compl()))
+		defCost := out.NumNodes() - before
+		best, bestCost := def, defCost
+		for _, c := range cuts[n] {
+			if len(c.leaves) < 2 || (len(c.leaves) == 1 && c.leaves[0] == n) {
+				continue
+			}
+			nv := len(c.leaves)
+			cubes := isop(c.tt, c.tt, nv, varOrder(nv))
+			if isopCost(cubes, nv) >= bestCost {
+				continue // cannot beat what we already have
+			}
+			before := out.NumNodes()
+			cand := buildISOP(out, cubes, c.leaves, repr, nv)
+			cost := out.NumNodes() - before
+			if cost < bestCost {
+				best, bestCost = cand, cost
+			}
+		}
+		repr[n] = best
+	}
+	for i := 0; i < a.NumPOs(); i++ {
+		p := a.PO(i)
+		out.AddPO(a.POName(i), repr[p.Node()].NotIf(p.Compl()))
+	}
+	res := Compact(out)
+	if res.NumAnds() > a.NumAnds() {
+		return Compact(a) // never regress
+	}
+	return res
+}
+
+func varOrder(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// buildISOP materializes a cube list over the cut leaves (whose new-AIG
+// representatives are in repr).
+func buildISOP(out *AIG, cubes []isopCube, leaves []uint32, repr []Lit, nVars int) Lit {
+	var terms []Lit
+	for _, c := range cubes {
+		var lits []Lit
+		for v := 0; v < nVars; v++ {
+			switch c[v] {
+			case 0:
+				lits = append(lits, repr[leaves[v]].Not())
+			case 1:
+				lits = append(lits, repr[leaves[v]])
+			}
+		}
+		terms = append(terms, out.AndN(lits))
+	}
+	return out.OrN(terms)
+}

@@ -1,0 +1,122 @@
+package aig
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestISOPAllThreeVarFunctions(t *testing.T) {
+	for f := 0; f < 256; f++ {
+		tt := uint16(f)
+		cubes := isop(tt, tt, 3, varOrder(3))
+		if got := coverTT(cubes, 3) & widthMask(3); got != tt {
+			t.Fatalf("f=%02x: isop covers %02x", f, got)
+		}
+	}
+}
+
+func TestISOPRandomFourVar(t *testing.T) {
+	rng := rand.New(rand.NewSource(239))
+	for trial := 0; trial < 500; trial++ {
+		tt := uint16(rng.Uint32())
+		cubes := isop(tt, tt, 4, varOrder(4))
+		if got := coverTT(cubes, 4); got != tt {
+			t.Fatalf("tt=%04x: isop covers %04x", tt, got)
+		}
+	}
+}
+
+func TestISOPIrredundant(t *testing.T) {
+	// Every cube must cover at least one minterm no other cube covers.
+	rng := rand.New(rand.NewSource(241))
+	for trial := 0; trial < 100; trial++ {
+		tt := uint16(rng.Uint32())
+		cubes := isop(tt, tt, 4, varOrder(4))
+		for i := range cubes {
+			rest := append(append([]isopCube{}, cubes[:i]...), cubes[i+1:]...)
+			if coverTT(rest, 4) == tt {
+				t.Fatalf("tt=%04x: cube %d redundant", tt, i)
+			}
+		}
+	}
+}
+
+func TestCofactorTT(t *testing.T) {
+	// tt = v0 AND v1 over 2 vars: 0b1000.
+	tt := uint16(0b1000)
+	if cofactorTT(tt, 2, 0, true) != 0b1100 { // == v1 (vacuous in v0)
+		t.Fatalf("got %04b", cofactorTT(tt, 2, 0, true))
+	}
+	if cofactorTT(tt, 2, 0, false) != 0 {
+		t.Fatal("cofactor at 0 should be constant false")
+	}
+}
+
+func TestExpandTT(t *testing.T) {
+	// f = leaf5 over leaves [5]; expand to [3,5]: variable moves to
+	// position 1.
+	tt := leafMasks[0] & widthMask(1) // 0b10
+	got := expandTT(tt, []uint32{5}, []uint32{3, 5})
+	if got != 0b1100&widthMask(2) {
+		t.Fatalf("got %04b", got)
+	}
+}
+
+func TestMergeCuts(t *testing.T) {
+	m, ok := mergeCuts([]uint32{1, 3}, []uint32{2, 3})
+	if !ok || len(m) != 3 || m[0] != 1 || m[1] != 2 || m[2] != 3 {
+		t.Fatalf("merge = %v ok=%v", m, ok)
+	}
+	if _, ok := mergeCuts([]uint32{1, 2, 3}, []uint32{4, 5}); ok {
+		t.Fatal("oversize merge accepted")
+	}
+}
+
+func TestRefactorPreservesFunction(t *testing.T) {
+	rng := rand.New(rand.NewSource(251))
+	for trial := 0; trial < 20; trial++ {
+		nv := 4 + rng.Intn(4)
+		a := randomAIG(rng, nv, 40)
+		r := Refactor(a)
+		if !equalAIGs(a, r, nv, rng, 300) {
+			t.Fatalf("trial %d: refactor changed function", trial)
+		}
+		if r.NumAnds() > a.NumAnds() {
+			t.Fatalf("trial %d: refactor grew AIG %d -> %d", trial, a.NumAnds(), r.NumAnds())
+		}
+	}
+}
+
+func TestRefactorReducesMuxChain(t *testing.T) {
+	// A redundantly built majority: maj(a,b,c) via 3 products of 2 ANDs
+	// each (6 ANDs + or-tree) refactors toward the known 4-AND realization
+	// or at least improves.
+	a := New([]string{"a", "b", "c"})
+	x, y, z := a.PI(0), a.PI(1), a.PI(2)
+	// Deliberately wasteful: each product duplicated then OR-joined.
+	p1 := a.And(x, y)
+	p2 := a.And(y, z)
+	p3 := a.And(x, z)
+	q1 := a.And(a.Or(p1, False), True) // wasteful wrappers collapse via strash
+	maj := a.Or(a.Or(q1, p2), p3)
+	deep := a.And(maj, a.Or(a.And(x, y), a.And(y, z))) // == maj
+	a.AddPO("o", deep)
+	before := Compact(a).NumAnds()
+	r := Refactor(a)
+	if r.NumAnds() > before {
+		t.Fatalf("refactor did not help: %d -> %d", before, r.NumAnds())
+	}
+	rng := rand.New(rand.NewSource(257))
+	if !equalAIGs(a, r, 3, rng, 64) {
+		t.Fatal("function changed")
+	}
+}
+
+func TestRefactorIdempotentOnOptimal(t *testing.T) {
+	a := New([]string{"a", "b"})
+	a.AddPO("o", a.And(a.PI(0), a.PI(1)))
+	r := Refactor(a)
+	if r.NumAnds() != 1 {
+		t.Fatalf("NumAnds = %d", r.NumAnds())
+	}
+}

@@ -1,0 +1,379 @@
+package bdd
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestConstants(t *testing.T) {
+	if True.Not() != False || False.Not() != True {
+		t.Fatal("constant complementation broken")
+	}
+	m := New(2)
+	if m.And() != True || m.Or() != False || m.Xor() != False {
+		t.Fatal("empty connectives wrong")
+	}
+}
+
+func TestVarBasics(t *testing.T) {
+	m := New(3)
+	a, b := m.Var(0), m.Var(1)
+	if a == b {
+		t.Fatal("distinct variables identical")
+	}
+	if m.And(a, a.Not()) != False {
+		t.Fatal("a AND !a != false")
+	}
+	if m.Or(a, a.Not()) != True {
+		t.Fatal("a OR !a != true")
+	}
+	if m.Xor(a, a) != False || m.Xor(a, a.Not()) != True {
+		t.Fatal("xor identities broken")
+	}
+}
+
+func TestCanonicity(t *testing.T) {
+	m := New(3)
+	a, b, c := m.Var(0), m.Var(1), m.Var(2)
+	// (a+b)·c == a·c + b·c
+	f := m.And(m.Or(a, b), c)
+	g := m.Or(m.And(a, c), m.And(b, c))
+	if f != g {
+		t.Fatal("equivalent functions got different refs")
+	}
+	// De Morgan.
+	if m.And(a, b).Not() != m.Or(a.Not(), b.Not()) {
+		t.Fatal("De Morgan violated")
+	}
+}
+
+func TestIteAgainstTruthTable(t *testing.T) {
+	m := New(3)
+	f := m.Ite(m.Var(0), m.Var(1), m.Var(2))
+	for mask := 0; mask < 8; mask++ {
+		assign := []bool{mask&1 != 0, mask&2 != 0, mask&4 != 0}
+		want := assign[2]
+		if assign[0] {
+			want = assign[1]
+		}
+		if got := m.Eval(f, assign); got != want {
+			t.Fatalf("ite eval(%v) = %v, want %v", assign, got, want)
+		}
+	}
+}
+
+// randomRef builds a random function over nv variables with depth ops.
+func randomRef(m *Manager, nv int, rng *rand.Rand, depth int) Ref {
+	if depth == 0 {
+		r := m.Var(rng.Intn(nv))
+		if rng.Intn(2) == 0 {
+			r = r.Not()
+		}
+		return r
+	}
+	a := randomRef(m, nv, rng, depth-1)
+	b := randomRef(m, nv, rng, depth-1)
+	switch rng.Intn(4) {
+	case 0:
+		return m.And(a, b)
+	case 1:
+		return m.Or(a, b)
+	case 2:
+		return m.Xor(a, b)
+	default:
+		return a.Not()
+	}
+}
+
+func TestPropertyCanonicalEquality(t *testing.T) {
+	// Two functions are equal iff their truth tables over the support
+	// variables are equal — exercised on random pairs.
+	const nv = 5
+	rng := rand.New(rand.NewSource(7))
+	m := New(nv)
+	for trial := 0; trial < 200; trial++ {
+		f := randomRef(m, nv, rng, 4)
+		g := randomRef(m, nv, rng, 4)
+		same := true
+		for mask := 0; mask < 1<<nv; mask++ {
+			assign := make([]bool, nv)
+			for i := range assign {
+				assign[i] = mask&(1<<i) != 0
+			}
+			if m.Eval(f, assign) != m.Eval(g, assign) {
+				same = false
+				break
+			}
+		}
+		if same != (f == g) {
+			t.Fatalf("trial %d: truth-table equality %v but ref equality %v", trial, same, f == g)
+		}
+	}
+}
+
+func TestQuickIteSemantics(t *testing.T) {
+	const nv = 4
+	m := New(nv)
+	rng := rand.New(rand.NewSource(11))
+	err := quick.Check(func(seedF, seedG, seedH int64, mask uint8) bool {
+		f := randomRef(m, nv, rand.New(rand.NewSource(seedF)), 3)
+		g := randomRef(m, nv, rand.New(rand.NewSource(seedG)), 3)
+		h := randomRef(m, nv, rand.New(rand.NewSource(seedH)), 3)
+		r := m.Ite(f, g, h)
+		assign := make([]bool, nv)
+		for i := range assign {
+			assign[i] = mask&(1<<i) != 0
+		}
+		want := m.Eval(h, assign)
+		if m.Eval(f, assign) {
+			want = m.Eval(g, assign)
+		}
+		return m.Eval(r, assign) == want
+	}, &quick.Config{MaxCount: 300, Rand: rng})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCofactor(t *testing.T) {
+	m := New(3)
+	a, b, c := m.Var(0), m.Var(1), m.Var(2)
+	f := m.Or(m.And(a, b), m.And(a.Not(), c))
+	if m.Cofactor(f, 0, true) != b {
+		t.Fatal("f|a=1 != b")
+	}
+	if m.Cofactor(f, 0, false) != c {
+		t.Fatal("f|a=0 != c")
+	}
+	// Cofactor on an absent variable is the identity.
+	if m.Cofactor(b, 0, true) != b {
+		t.Fatal("cofactor on absent var changed function")
+	}
+}
+
+func TestShannonExpansion(t *testing.T) {
+	const nv = 5
+	m := New(nv)
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 100; trial++ {
+		f := randomRef(m, nv, rng, 4)
+		v := rng.Intn(nv)
+		lo, hi := m.Cofactor(f, v, false), m.Cofactor(f, v, true)
+		if got := m.Ite(m.Var(v), hi, lo); got != f {
+			t.Fatalf("Shannon expansion mismatch on trial %d", trial)
+		}
+	}
+}
+
+func TestQuantification(t *testing.T) {
+	m := New(3)
+	a, b := m.Var(0), m.Var(1)
+	f := m.And(a, b)
+	if m.Exists(f, m.CubeVars([]int{0})) != b {
+		t.Fatal("exists a. a·b != b")
+	}
+	if m.ForAll(f, m.CubeVars([]int{0})) != False {
+		t.Fatal("forall a. a·b != false")
+	}
+	g := m.Or(a, b)
+	if m.ForAll(g, m.CubeVars([]int{0})) != b {
+		t.Fatal("forall a. a+b != b")
+	}
+	// Quantifying all support vars of a satisfiable f gives True.
+	if m.Exists(f, m.CubeVars([]int{0, 1})) != True {
+		t.Fatal("exists all. a·b != true")
+	}
+}
+
+func TestQuantificationDuality(t *testing.T) {
+	const nv = 5
+	m := New(nv)
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 100; trial++ {
+		f := randomRef(m, nv, rng, 4)
+		cube := m.CubeVars([]int{1, 3})
+		lhs := m.Exists(f, cube).Not()
+		rhs := m.ForAll(f.Not(), cube)
+		if lhs != rhs {
+			t.Fatalf("¬∃f != ∀¬f on trial %d", trial)
+		}
+	}
+}
+
+func TestAndExistsMatchesComposition(t *testing.T) {
+	const nv = 6
+	m := New(nv)
+	rng := rand.New(rand.NewSource(19))
+	for trial := 0; trial < 100; trial++ {
+		f := randomRef(m, nv, rng, 4)
+		g := randomRef(m, nv, rng, 4)
+		cube := m.CubeVars([]int{0, 2, 4})
+		if m.AndExists(f, g, cube) != m.Exists(m.And(f, g), cube) {
+			t.Fatalf("AndExists mismatch on trial %d", trial)
+		}
+	}
+}
+
+func TestCompose(t *testing.T) {
+	m := New(4)
+	a, b, c := m.Var(0), m.Var(1), m.Var(2)
+	f := m.Xor(a, b)
+	// Substitute b := a·c.
+	g := m.Compose(f, 1, m.And(a, c))
+	want := m.Xor(a, m.And(a, c))
+	if g != want {
+		t.Fatal("compose mismatch")
+	}
+}
+
+func TestVecComposeSimultaneous(t *testing.T) {
+	m := New(2)
+	a, b := m.Var(0), m.Var(1)
+	// Swap a and b in a·¬b; must be simultaneous, not sequential.
+	f := m.And(a, b.Not())
+	g := m.VecCompose(f, map[int]Ref{0: b, 1: a})
+	if g != m.And(b, a.Not()) {
+		t.Fatal("vec compose not simultaneous")
+	}
+}
+
+func TestSupport(t *testing.T) {
+	m := New(4)
+	f := m.Or(m.And(m.Var(0), m.Var(2)), m.Var(2).Not())
+	sup := m.Support(f)
+	if len(sup) != 2 || sup[0] != 0 || sup[1] != 2 {
+		t.Fatalf("support = %v", sup)
+	}
+	if len(m.Support(True)) != 0 {
+		t.Fatal("terminal has nonempty support")
+	}
+}
+
+func TestSatCount(t *testing.T) {
+	m := New(3)
+	a, b := m.Var(0), m.Var(1)
+	if n := m.SatCount(m.And(a, b), 3); n != 2 {
+		t.Fatalf("satcount(a·b) over 3 vars = %v, want 2", n)
+	}
+	if n := m.SatCount(True, 3); n != 8 {
+		t.Fatalf("satcount(true) = %v", n)
+	}
+	if n := m.SatCount(m.Xor(a, b), 3); n != 4 {
+		t.Fatalf("satcount(a⊕b) = %v", n)
+	}
+}
+
+func TestAnySat(t *testing.T) {
+	m := New(3)
+	f := m.And(m.Var(0), m.Var(2).Not())
+	sat := m.AnySat(f)
+	if sat == nil {
+		t.Fatal("satisfiable function reported unsat")
+	}
+	assign := make([]bool, 3)
+	for v, b := range sat {
+		assign[v] = b
+	}
+	if !m.Eval(f, assign) {
+		t.Fatal("AnySat returned a non-satisfying assignment")
+	}
+	if m.AnySat(False) != nil {
+		t.Fatal("False reported satisfiable")
+	}
+}
+
+func TestUnateness(t *testing.T) {
+	m := New(3)
+	a, b, c := m.Var(0), m.Var(1), m.Var(2)
+	// f = a·b + c is positive unate in all three.
+	f := m.Or(m.And(a, b), c)
+	for v := 0; v < 3; v++ {
+		if !m.PositiveUnate(f, v) {
+			t.Fatalf("f not positive unate in var %d", v)
+		}
+	}
+	// g = a ⊕ b is binate in a and b.
+	g := m.Xor(a, b)
+	if m.PositiveUnate(g, 0) || m.NegativeUnate(g, 0) {
+		t.Fatal("xor misclassified as unate")
+	}
+	// h = ¬a·b is negative unate in a, positive in b.
+	h := m.And(a.Not(), b)
+	if !m.NegativeUnate(h, 0) || m.PositiveUnate(h, 0) {
+		t.Fatal("¬a·b unateness in a wrong")
+	}
+	if !m.PositiveUnate(h, 1) {
+		t.Fatal("¬a·b unateness in b wrong")
+	}
+	// A variable outside the support is (vacuously) both.
+	if !m.PositiveUnate(h, 2) || !m.NegativeUnate(h, 2) {
+		t.Fatal("absent variable should be both unate")
+	}
+}
+
+func TestLeq(t *testing.T) {
+	m := New(2)
+	a, b := m.Var(0), m.Var(1)
+	if !m.Leq(m.And(a, b), a) {
+		t.Fatal("a·b ≤ a failed")
+	}
+	if m.Leq(a, m.And(a, b)) {
+		t.Fatal("a ≤ a·b should fail")
+	}
+}
+
+func TestNodeLimit(t *testing.T) {
+	m := New(24)
+	m.MaxNodes = 50
+	err := CatchLimit(func() {
+		// A function with exponential BDD size under a bad order:
+		// sum of products of interleaved variables.
+		f := False
+		for i := 0; i < 12; i++ {
+			f = m.Or(f, m.And(m.Var(i), m.Var(12+i)))
+		}
+		_ = f
+	})
+	if err != ErrNodeLimit {
+		t.Fatalf("expected node-limit error, got %v", err)
+	}
+}
+
+func TestSizeMonotone(t *testing.T) {
+	m := New(4)
+	f := m.Var(0)
+	if m.Size(f) != 1 {
+		t.Fatalf("size(var) = %d", m.Size(f))
+	}
+	if m.Size(True) != 0 {
+		t.Fatal("terminal size != 0")
+	}
+	g := m.Xor(m.Var(0), m.Var(1), m.Var(2), m.Var(3))
+	if m.Size(g) != 4 {
+		// XOR chain with complement edges is linear: one node per var.
+		t.Fatalf("size(xor4) = %d, want 4", m.Size(g))
+	}
+}
+
+func TestAddVarDynamic(t *testing.T) {
+	m := New(1)
+	v := m.AddVar()
+	if v != 1 {
+		t.Fatalf("AddVar returned %d", v)
+	}
+	f := m.And(m.Var(0), m.Var(1))
+	if f == False || f == True {
+		t.Fatal("conjunction of fresh vars degenerate")
+	}
+}
+
+func TestClearCachePreservesCanonicity(t *testing.T) {
+	m := New(3)
+	f := m.Xor(m.Var(0), m.Var(1))
+	m.ClearCache()
+	g := m.Xor(m.Var(0), m.Var(1))
+	if f != g {
+		t.Fatal("canonicity lost after cache clear")
+	}
+}

@@ -1,0 +1,233 @@
+// Package bench provides the workload generators and the harnesses that
+// regenerate the paper's evaluation (Tables 1 and 2 and the supporting
+// figures).
+//
+// Substitution note (see DESIGN.md §5): the paper evaluates on MCNC /
+// ISCAS'89 netlists and proprietary industrial designs, which are not
+// redistributable here. The generators below synthesize deterministic
+// pseudo-random circuits that match each named benchmark's latch count
+// and feedback structure (fraction of latches on feedback paths,
+// pipeline depth, FSM clustering), which are the properties the paper's
+// claims depend on; absolute gate counts are scaled to keep the full
+// table runnable on one machine.
+package bench
+
+import (
+	"hash/fnv"
+	"math/rand"
+
+	"seqver/internal/netlist"
+)
+
+// Spec describes one synthetic benchmark circuit.
+type Spec struct {
+	Name    string
+	Latches int
+	// FeedbackFrac is the fraction of latches given a self-feedback
+	// (conditional-update, Figure 14) structure; in structural mode the
+	// Section 7.1 analysis must expose exactly these.
+	FeedbackFrac float64
+	// GatesPerLatch scales combinational logic between latch layers.
+	GatesPerLatch int
+	Inputs        int
+	Outputs       int
+}
+
+func seedOf(name string) int64 {
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	return int64(h.Sum64() & 0x7fffffffffffffff)
+}
+
+// Generate builds the circuit for a spec, deterministically from its
+// name.
+//
+// Architecture (mirroring the register-transfer structure of the ISCAS
+// originals): pipeline latches are organized into register banks
+// separated by combinational stages of UNBALANCED depth (2..10 levels) —
+// the imbalance is what minimum-period retiming exploits and what
+// combinational-only optimization cannot fix. Feedback latches are
+// conditional-update self-loops (Figure 14) with shallow enable/data
+// cones. Primary outputs are registered (read latch outputs through
+// shallow cones), and every latch is transitively observable: unread
+// state is folded into balanced XOR check outputs, so no latch is dead.
+func Generate(sp Spec) *netlist.Circuit {
+	rng := rand.New(rand.NewSource(seedOf(sp.Name)))
+	if sp.Inputs == 0 {
+		sp.Inputs = clamp(sp.Latches/6, 4, 40)
+	}
+	if sp.Outputs == 0 {
+		sp.Outputs = clamp(sp.Latches/8, 2, 32)
+	}
+	if sp.GatesPerLatch == 0 {
+		sp.GatesPerLatch = 5
+	}
+
+	c := netlist.New(sp.Name)
+	var pis []int
+	for i := 0; i < sp.Inputs; i++ {
+		pis = append(pis, c.AddInput(name("in", i)))
+	}
+
+	ops := []netlist.Op{netlist.OpAnd, netlist.OpOr, netlist.OpXor,
+		netlist.OpNand, netlist.OpNor}
+	gateCnt := 0
+	gate2 := func(a, b int) int {
+		id := c.AddGate(name("g", gateCnt), ops[rng.Intn(len(ops))], a, b)
+		gateCnt++
+		return id
+	}
+	// cone builds a chain of `depth` two-input gates over the pool.
+	cone := func(pool []int, depth int) int {
+		cur := pool[rng.Intn(len(pool))]
+		for i := 0; i < depth; i++ {
+			cur = gate2(cur, pool[rng.Intn(len(pool))])
+		}
+		return cur
+	}
+
+	nFeedback := int(float64(sp.Latches)*sp.FeedbackFrac + 0.5)
+	nPipe := sp.Latches - nFeedback
+	nStages := clamp(sp.Latches/24, 3, 8)
+
+	pool := pis // signals visible to the current stage
+	var allLatches []int
+	fbLeft := nFeedback
+	pipeLeft := nPipe
+	for s := 0; s < nStages; s++ {
+		stageDepth := 2 + rng.Intn(9) // unbalanced: 2..10 levels
+		stagesToGo := nStages - s
+		nP := pipeLeft / stagesToGo
+		nF := fbLeft / stagesToGo
+		if s == nStages-1 {
+			nP, nF = pipeLeft, fbLeft
+		}
+		var next []int
+		// Pipeline bank behind this stage's logic.
+		for i := 0; i < nP; i++ {
+			src := cone(pool, 1+rng.Intn(stageDepth))
+			l := c.AddLatch(name("pl", len(allLatches)), src)
+			allLatches = append(allLatches, l)
+			next = append(next, l)
+		}
+		pipeLeft -= nP
+		// Feedback (conditional-update) latches with shallow cones.
+		for i := 0; i < nF; i++ {
+			x := c.AddLatch(name("fb", len(allLatches)), 0)
+			en := cone(pool, 1+rng.Intn(2))
+			d := cone(pool, 1+rng.Intn(3))
+			ld := c.AddGate(name("ld", len(allLatches)), netlist.OpAnd, en, d)
+			nen := c.AddGate(name("nen", len(allLatches)), netlist.OpNot, en)
+			hd := c.AddGate(name("hd", len(allLatches)), netlist.OpAnd, nen, x)
+			c.SetLatchData(x, c.AddGate(name("nx", len(allLatches)), netlist.OpOr, ld, hd))
+			allLatches = append(allLatches, x)
+			next = append(next, x)
+		}
+		fbLeft -= nF
+		// Next stage sees this bank plus a few fresh PIs for control.
+		pool = append(next, pis[:clamp(len(pis)/2, 1, len(pis))]...)
+		if len(pool) == 0 {
+			pool = pis
+		}
+	}
+
+	// Registered primary outputs: shallow cones over the final bank.
+	for i := 0; i < sp.Outputs; i++ {
+		c.AddOutput(name("out", i), cone(pool, 1+rng.Intn(2)))
+	}
+
+	// Observability sweep: fold unread latch outputs into balanced XOR
+	// trees so every latch reaches an output.
+	fan, isPO := c.Fanouts(true)
+	var unread []int
+	for _, id := range allLatches {
+		if len(fan[id]) == 0 && !isPO[id] {
+			unread = append(unread, id)
+		}
+	}
+	chk := 0
+	for len(unread) > 0 {
+		batch := unread
+		if len(batch) > 32 {
+			batch = unread[:32]
+		}
+		unread = unread[len(batch):]
+		// Balanced pairing keeps the tree logarithmic.
+		work := append([]int(nil), batch...)
+		for len(work) > 1 {
+			var nextW []int
+			for i := 0; i+1 < len(work); i += 2 {
+				x := c.AddGate(name("chkx", gateCnt), netlist.OpXor, work[i], work[i+1])
+				gateCnt++
+				nextW = append(nextW, x)
+			}
+			if len(work)%2 == 1 {
+				nextW = append(nextW, work[len(work)-1])
+			}
+			work = nextW
+		}
+		c.AddOutput(name("chk", chk), work[0])
+		chk++
+	}
+
+	if err := c.Check(); err != nil {
+		panic("bench: generator produced invalid circuit: " + err.Error())
+	}
+	return c
+}
+
+func name(prefix string, i int) string {
+	// Manual itoa keeps the generator allocation-light.
+	if i == 0 {
+		return prefix + "0"
+	}
+	var buf [12]byte
+	p := len(buf)
+	for i > 0 {
+		p--
+		buf[p] = byte('0' + i%10)
+		i /= 10
+	}
+	return prefix + string(buf[p:])
+}
+
+func clamp(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// Pipeline builds the Figure 6 workload: a k-stage pipelined datapath
+// with w parallel bit slices, used by the pipeline example and benches.
+func Pipeline(stages, width int, seed int64) *netlist.Circuit {
+	rng := rand.New(rand.NewSource(seed))
+	c := netlist.New("pipeline")
+	var cur []int
+	for i := 0; i < width; i++ {
+		cur = append(cur, c.AddInput(name("in", i)))
+	}
+	ops := []netlist.Op{netlist.OpAnd, netlist.OpOr, netlist.OpXor, netlist.OpNand}
+	g := 0
+	for s := 0; s < stages; s++ {
+		// One combinational stage mixing neighbours, then a latch bank.
+		next := make([]int, width)
+		for i := 0; i < width; i++ {
+			a, b := cur[i], cur[(i+1)%width]
+			mix := c.AddGate(name("s", g), ops[rng.Intn(len(ops))], a, b)
+			g++
+			mix2 := c.AddGate(name("s", g), ops[rng.Intn(len(ops))], mix, cur[(i+2)%width])
+			g++
+			next[i] = c.AddLatch(name("r", g), mix2)
+			g++
+		}
+		cur = next
+	}
+	for i := 0; i < width; i++ {
+		c.AddOutput(name("out", i), cur[i])
+	}
+	return c
+}

@@ -1,0 +1,24 @@
+package bench
+
+import (
+	"testing"
+	"time"
+)
+
+// TestLargestRow exercises the s38417-scale row end to end; skipped in
+// -short mode.
+func TestLargestRow(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large row in -short mode")
+	}
+	sp := Table1Specs[len(Table1Specs)-1] // s38417
+	start := time.Now()
+	row, err := RunTable1Row(sp, Table1Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.Verdict.String() != "equivalent" {
+		t.Fatalf("verdict %v", row.Verdict)
+	}
+	t.Logf("%s: total=%v verify=%v", sp.Name, time.Since(start), row.Verify)
+}

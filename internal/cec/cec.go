@@ -1,0 +1,377 @@
+// Package cec is the combinational equivalence checker closing the
+// paper's flow (Section 7.4): it decides whether two combinational
+// circuits — in our flow, the CBF/EDBF unrollings H and J of Figure 19 —
+// compute the same outputs, aligning primary inputs and outputs by name.
+//
+// The engine follows the architecture of the tools the paper cites
+// (Matsunaga DAC'96; Kuehlmann-Krohm DAC'97): both circuits are built
+// into one structurally hashed AIG (structural similarity collapses for
+// free), random simulation filters inequivalences and groups candidate
+// internal equivalences, SAT-sweeping (fraig) merges internal points to
+// keep miters shallow, and a CDCL SAT solver discharges each output
+// miter. An optional pure-BDD engine is provided for the ablation bench.
+package cec
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"seqver/internal/aig"
+	"seqver/internal/bdd"
+	"seqver/internal/netlist"
+	"seqver/internal/sat"
+)
+
+// Verdict is the outcome of an equivalence check.
+type Verdict int
+
+const (
+	// Undecided means resource limits were hit before a proof either way.
+	Undecided Verdict = iota
+	// Equivalent means all outputs were proven equal.
+	Equivalent
+	// Inequivalent means a counterexample was found.
+	Inequivalent
+)
+
+func (v Verdict) String() string {
+	switch v {
+	case Equivalent:
+		return "equivalent"
+	case Inequivalent:
+		return "inequivalent"
+	}
+	return "undecided"
+}
+
+// Options tunes the engines.
+type Options struct {
+	// Engine selects the decision procedure: "hybrid" (default:
+	// simulation + fraig + SAT), "sat" (no fraig sweeping), or "bdd".
+	Engine string
+	// MaxConflicts bounds each SAT proof (0: generous default).
+	MaxConflicts int64
+	// BDDLimit bounds the BDD engine's node count (0: default 2M).
+	BDDLimit int
+	Seed     int64
+}
+
+// Result reports the verdict with diagnostics.
+type Result struct {
+	Verdict        Verdict
+	FailingOutput  string          // set when Inequivalent
+	Counterexample map[string]bool // input name -> value, when Inequivalent
+	Outputs        int             // outputs compared
+	SATCalls       int
+	Elapsed        time.Duration
+}
+
+// Check decides name-aligned combinational equivalence of c1 and c2.
+// The circuits must be latch-free and have identical output name sets;
+// input sets may differ (a circuit ignores inputs outside its support).
+func Check(c1, c2 *netlist.Circuit, opt Options) (*Result, error) {
+	start := time.Now()
+	if len(c1.Latches) > 0 || len(c2.Latches) > 0 {
+		return nil, fmt.Errorf("cec: circuits must be combinational (unroll first)")
+	}
+	if err := sameOutputNames(c1, c2); err != nil {
+		return nil, err
+	}
+	piNames, a, pos1, pos2, err := jointAIG(c1, c2)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Outputs: len(pos1)}
+	defer func() { res.Elapsed = time.Since(start) }()
+
+	switch opt.Engine {
+	case "", "hybrid", "sat":
+		return checkSAT(a, piNames, pos1, pos2, c1, opt, res, opt.Engine != "sat")
+	case "bdd":
+		return checkBDD(a, piNames, pos1, pos2, opt, res)
+	default:
+		return nil, fmt.Errorf("cec: unknown engine %q", opt.Engine)
+	}
+}
+
+func sameOutputNames(c1, c2 *netlist.Circuit) error {
+	n1, n2 := c1.OutputNames(), c2.OutputNames()
+	s1 := append([]string(nil), n1...)
+	s2 := append([]string(nil), n2...)
+	sort.Strings(s1)
+	sort.Strings(s2)
+	if len(s1) != len(s2) {
+		return fmt.Errorf("cec: output counts differ: %d vs %d", len(s1), len(s2))
+	}
+	for i := range s1 {
+		if s1[i] != s2[i] {
+			return fmt.Errorf("cec: output sets differ at %q vs %q", s1[i], s2[i])
+		}
+	}
+	return nil
+}
+
+// jointAIG builds both circuits into one AIG over the union of input
+// names and returns, per sorted output name, each side's edge.
+func jointAIG(c1, c2 *netlist.Circuit) ([]string, *aig.AIG, []aig.Lit, []aig.Lit, error) {
+	seen := map[string]int{}
+	var union []string
+	for _, c := range []*netlist.Circuit{c1, c2} {
+		for _, n := range c.InputNames() {
+			if _, ok := seen[n]; !ok {
+				seen[n] = len(union)
+				union = append(union, n)
+			}
+		}
+	}
+	a := aig.New(union)
+	build := func(c *netlist.Circuit) (map[string]aig.Lit, error) {
+		order, err := c.TopoOrder()
+		if err != nil {
+			return nil, err
+		}
+		lit := make([]aig.Lit, len(c.Nodes))
+		for _, id := range c.Inputs {
+			lit[id] = a.PI(seen[c.Nodes[id].Name])
+		}
+		for _, id := range order {
+			n := c.Nodes[id]
+			if n.Kind != netlist.KindGate {
+				continue
+			}
+			fins := make([]aig.Lit, len(n.Fanins))
+			for j, f := range n.Fanins {
+				fins[j] = lit[f]
+			}
+			lit[id] = gateToAIG(a, n, fins)
+		}
+		out := make(map[string]aig.Lit, len(c.Outputs))
+		for _, o := range c.Outputs {
+			out[o.Name] = lit[o.Node]
+		}
+		return out, nil
+	}
+	m1, err := build(c1)
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
+	m2, err := build(c2)
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
+	names := c1.OutputNames()
+	sort.Strings(names)
+	pos1 := make([]aig.Lit, len(names))
+	pos2 := make([]aig.Lit, len(names))
+	for i, n := range names {
+		pos1[i], pos2[i] = m1[n], m2[n]
+		a.AddPO("l$"+n, m1[n])
+		a.AddPO("r$"+n, m2[n])
+	}
+	return union, a, pos1, pos2, nil
+}
+
+func gateToAIG(a *aig.AIG, n *netlist.Node, in []aig.Lit) aig.Lit {
+	switch n.Op {
+	case netlist.OpConst0:
+		return aig.False
+	case netlist.OpConst1:
+		return aig.True
+	case netlist.OpBuf:
+		return in[0]
+	case netlist.OpNot:
+		return in[0].Not()
+	case netlist.OpAnd:
+		return a.AndN(in)
+	case netlist.OpNand:
+		return a.AndN(in).Not()
+	case netlist.OpOr:
+		return a.OrN(in)
+	case netlist.OpNor:
+		return a.OrN(in).Not()
+	case netlist.OpXor, netlist.OpXnor:
+		r := aig.False
+		for _, l := range in {
+			r = a.Xor(r, l)
+		}
+		if n.Op == netlist.OpXnor {
+			return r.Not()
+		}
+		return r
+	case netlist.OpMux:
+		return a.Mux(in[0], in[1], in[2])
+	case netlist.OpTable:
+		var cubes []aig.Lit
+		for _, cu := range n.Cover {
+			var lits []aig.Lit
+			for i := 0; i < len(cu); i++ {
+				switch cu[i] {
+				case '1':
+					lits = append(lits, in[i])
+				case '0':
+					lits = append(lits, in[i].Not())
+				}
+			}
+			cubes = append(cubes, a.AndN(lits))
+		}
+		return a.OrN(cubes)
+	}
+	panic("cec: unknown op " + n.Op.String())
+}
+
+func checkSAT(a *aig.AIG, piNames []string, pos1, pos2 []aig.Lit,
+	c1 *netlist.Circuit, opt Options, res *Result, useFraig bool) (*Result, error) {
+	rng := rand.New(rand.NewSource(opt.Seed + 5))
+	names := c1.OutputNames()
+	sort.Strings(names)
+
+	// Stage 1: random simulation looks for cheap counterexamples.
+	for round := 0; round < 8; round++ {
+		words := a.RandomWords(rng)
+		w := a.SimWords(words)
+		for i := range pos1 {
+			diff := aig.LitWord(w, pos1[i]) ^ aig.LitWord(w, pos2[i])
+			if diff != 0 {
+				bit := 0
+				for ; bit < 64; bit++ {
+					if diff&(1<<uint(bit)) != 0 {
+						break
+					}
+				}
+				res.Verdict = Inequivalent
+				res.FailingOutput = names[i]
+				res.Counterexample = cexFromWords(piNames, words, bit)
+				return res, nil
+			}
+		}
+	}
+
+	// Stage 2: SAT-sweeping merges internal equivalences so that the
+	// output miters collapse structurally where the circuits are similar.
+	if useFraig {
+		af := aig.Fraig(a, aig.FraigOptions{Seed: opt.Seed, MaxConflicts: 1000})
+		// Recover per-output edges from the fraiged AIG's POs.
+		a = af
+		for i := 0; i < len(pos1); i++ {
+			pos1[i] = a.PO(2 * i)
+			pos2[i] = a.PO(2*i + 1)
+		}
+	}
+
+	// Stage 3: one SAT miter per output.
+	maxConf := opt.MaxConflicts
+	if maxConf == 0 {
+		maxConf = 200000
+	}
+	solver := sat.New(0)
+	cnf := &aig.CNFMap{VarOf: map[uint32]int{}}
+	undecided := false
+	for i := range pos1 {
+		if pos1[i] == pos2[i] {
+			continue
+		}
+		l1 := a.Encode(solver, cnf, pos1[i])
+		l2 := a.Encode(solver, cnf, pos2[i])
+		solver.MaxConflicts = maxConf
+		res.SATCalls++
+		st, model := solver.SolveModel(l1, l2.Not())
+		if st == sat.Sat {
+			res.Verdict = Inequivalent
+			res.FailingOutput = names[i]
+			res.Counterexample = cexFromModel(a, piNames, cnf, model)
+			return res, nil
+		}
+		if st == sat.Unknown {
+			undecided = true
+			continue
+		}
+		res.SATCalls++
+		st, model = solver.SolveModel(l1.Not(), l2)
+		if st == sat.Sat {
+			res.Verdict = Inequivalent
+			res.FailingOutput = names[i]
+			res.Counterexample = cexFromModel(a, piNames, cnf, model)
+			return res, nil
+		}
+		if st == sat.Unknown {
+			undecided = true
+		}
+	}
+	if undecided {
+		res.Verdict = Undecided
+	} else {
+		res.Verdict = Equivalent
+	}
+	return res, nil
+}
+
+func cexFromWords(piNames []string, words []uint64, bit int) map[string]bool {
+	out := make(map[string]bool, len(piNames))
+	for i, n := range piNames {
+		out[n] = words[i]&(1<<uint(bit)) != 0
+	}
+	return out
+}
+
+func cexFromModel(a *aig.AIG, piNames []string, cnf *aig.CNFMap, model []bool) map[string]bool {
+	out := make(map[string]bool, len(piNames))
+	for i, n := range piNames {
+		node := a.PI(i).Node()
+		if v, ok := cnf.VarOf[node]; ok && v < len(model) {
+			out[n] = model[v]
+		} else {
+			out[n] = false
+		}
+	}
+	return out
+}
+
+func checkBDD(a *aig.AIG, piNames []string, pos1, pos2 []aig.Lit,
+	opt Options, res *Result) (*Result, error) {
+	limit := opt.BDDLimit
+	if limit == 0 {
+		limit = 2_000_000
+	}
+	m := bdd.New(len(piNames))
+	m.MaxNodes = limit
+	funcs := make([]bdd.Ref, a.NumNodes())
+	funcs[0] = bdd.False
+	for i := 0; i < a.NumPIs(); i++ {
+		funcs[i+1] = m.Var(i)
+	}
+	edge := func(l aig.Lit) bdd.Ref {
+		f := funcs[l.Node()]
+		if l.Compl() {
+			return f.Not()
+		}
+		return f
+	}
+	err := bdd.CatchLimit(func() {
+		for n := uint32(a.NumPIs() + 1); n < uint32(a.NumNodes()); n++ {
+			f0, f1 := a.Fanins(n)
+			funcs[n] = m.And(edge(f0), edge(f1))
+		}
+	})
+	if err != nil {
+		res.Verdict = Undecided
+		return res, nil
+	}
+	for i := range pos1 {
+		b1, b2 := edge(pos1[i]), edge(pos2[i])
+		if b1 != b2 {
+			res.Verdict = Inequivalent
+			// Extract a counterexample from the difference function.
+			diffSat := m.AnySat(m.Xor(b1, b2))
+			cex := make(map[string]bool, len(piNames))
+			for j, n := range piNames {
+				cex[n] = diffSat[j]
+			}
+			res.Counterexample = cex
+			return res, nil
+		}
+	}
+	res.Verdict = Equivalent
+	return res, nil
+}

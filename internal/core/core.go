@@ -1,0 +1,200 @@
+// Package core ties the substrates into the paper's verification
+// methodology (Figure 19): make a sequential circuit satisfy the
+// feedback constraint by unate re-modeling and/or latch exposure
+// (Section 6, 7.1), reduce both the golden and the optimized circuit to
+// combinational form via CBF or EDBF unrolling (Sections 4–5), and
+// discharge the resulting problem with the combinational equivalence
+// checker (Section 7.4).
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"seqver/internal/cbf"
+	"seqver/internal/cec"
+	"seqver/internal/edbf"
+	"seqver/internal/feedback"
+	"seqver/internal/netlist"
+	"seqver/internal/unate"
+)
+
+// PrepareOptions controls the constraint-satisfaction step.
+type PrepareOptions struct {
+	// UnateAware first re-models self-loop latches whose next-state
+	// function is positive unate in the latch variable as load-enabled
+	// latches (Lemma 6.1), which removes them from the feedback graph
+	// and reduces the number of exposed latches (the refinement the
+	// paper predicts in Section 8.1, point 5). Off by default to match
+	// the paper's experimental setup (Section 8, step 1).
+	UnateAware bool
+	// Protected latch names are exposed only when unavoidable (the
+	// paper notes designers pin FSM state bits regardless; protection
+	// inverts that: latches the optimizer may not lose to exposure).
+	Protected map[string]bool
+}
+
+// PrepareResult is the modified circuit B of the experimental flow.
+type PrepareResult struct {
+	// Circuit satisfies the acyclicity constraint: all feedback paths
+	// are broken by exposure (and, in unate-aware mode, re-modeling).
+	Circuit *netlist.Circuit
+	// Exposed lists the names of latches turned into pseudo-ports.
+	Exposed []string
+	// Modeled lists the names of latches re-modeled per Lemma 6.1.
+	Modeled []string
+	// TotalLatches is the latch count of the input circuit.
+	TotalLatches int
+}
+
+// Prepare produces the constraint-satisfying circuit B from A: it finds
+// a minimal feedback vertex set of the latch dependency graph and
+// exposes it (optionally after unate re-modeling). The returned circuit
+// is acyclic and ready for retiming/synthesis and CBF/EDBF unrolling.
+func Prepare(a *netlist.Circuit, opt PrepareOptions) (*PrepareResult, error) {
+	res := &PrepareResult{TotalLatches: len(a.Latches)}
+	work := a
+	if opt.UnateAware {
+		modeled, names, err := modelUnate(a)
+		if err != nil {
+			return nil, err
+		}
+		work = modeled
+		res.Modeled = names
+	}
+	var prot map[int]bool
+	if opt.Protected != nil {
+		prot = make(map[int]bool)
+		for _, id := range work.Latches {
+			if opt.Protected[work.Nodes[id].Name] {
+				prot[id] = true
+			}
+		}
+	}
+	b, exposed, err := feedback.BreakFeedback(work, prot)
+	if err != nil {
+		return nil, err
+	}
+	for _, id := range exposed {
+		res.Exposed = append(res.Exposed, work.Nodes[id].Name)
+	}
+	res.Circuit = netlist.Sweep(b, false)
+	return res, nil
+}
+
+func modelUnate(a *netlist.Circuit) (*netlist.Circuit, []string, error) {
+	out, modeled, err := unate.ModelFeedback(a)
+	if err != nil {
+		return nil, nil, err
+	}
+	names := make([]string, 0, len(modeled))
+	for _, id := range modeled {
+		names = append(names, a.Nodes[id].Name)
+	}
+	return netlist.Sweep(out, false), names, nil
+}
+
+// Options controls Verify.
+type Options struct {
+	// Rewrite enables the paper's Eq. 5 event rewriting in the EDBF
+	// path, trading hardware-exactness for fewer false negatives.
+	Rewrite bool
+	// CEC tunes the combinational engine.
+	CEC cec.Options
+}
+
+// Report is the outcome of a verification run.
+type Report struct {
+	// Method is "cbf" for regular-latch circuits, "edbf" when
+	// load-enabled latches forced the event calculus.
+	Method string
+	// Depth is the (topological) sequential depth of the first circuit.
+	Depth int
+	// UnrolledGates counts the gates of the two unrolled circuits (the
+	// Figure 18 replication cost).
+	UnrolledGates [2]int
+	// Result is the combinational checker's verdict.
+	Result *cec.Result
+	// Conservative is set when the method can produce false negatives
+	// (EDBF; Section 5.2): an Inequivalent verdict is then "not proven
+	// equivalent" rather than a definite counterexample.
+	Conservative bool
+	Elapsed      time.Duration
+}
+
+// VerifyAcyclic checks the paper's exact 3-valued sequential equivalence
+// of two acyclic circuits (both must already satisfy the feedback
+// constraint — run Prepare first, and optimize only the prepared
+// circuit). Circuits with only regular latches take the CBF path
+// (complete, Theorem 5.1); circuits with load-enabled latches take the
+// EDBF path (sound for retiming+synthesis pairs, else conservative,
+// Theorem 5.2).
+func VerifyAcyclic(c1, c2 *netlist.Circuit, opt Options) (*Report, error) {
+	start := time.Now()
+	rep := &Report{}
+	var u1, u2 *netlist.Circuit
+	var err error
+	if c1.IsRegular() && c2.IsRegular() {
+		rep.Method = "cbf"
+		if u1, err = cbf.Unroll(c1); err != nil {
+			return nil, err
+		}
+		if u2, err = cbf.Unroll(c2); err != nil {
+			return nil, err
+		}
+		if rep.Depth, err = cbf.SequentialDepth(c1); err != nil {
+			return nil, err
+		}
+	} else {
+		rep.Method = "edbf"
+		rep.Conservative = true
+		cx := edbf.NewCtx()
+		cx.Rewrite = opt.Rewrite
+		if u1, err = cx.Unroll(c1); err != nil {
+			return nil, err
+		}
+		if u2, err = cx.Unroll(c2); err != nil {
+			return nil, err
+		}
+	}
+	rep.UnrolledGates = [2]int{u1.NumGates(), u2.NumGates()}
+	res, err := cec.Check(u1, u2, opt.CEC)
+	if err != nil {
+		return nil, err
+	}
+	rep.Result = res
+	rep.Elapsed = time.Since(start)
+	return rep, nil
+}
+
+// Verify checks two arbitrary sequential circuits: it prepares the first
+// (exposing a feedback vertex set), exposes the same latch names in the
+// second, and runs VerifyAcyclic. Intended for pairs that share latch
+// names on the feedback structure (e.g. a design before and after
+// combinational-only optimization); pairs produced by the full
+// retime-and-resynthesize flow should instead be handled by preparing
+// once and optimizing the prepared circuit.
+func Verify(c1, c2 *netlist.Circuit, prep PrepareOptions, opt Options) (*Report, error) {
+	p1, err := Prepare(c1, prep)
+	if err != nil {
+		return nil, err
+	}
+	// Expose the same names in c2.
+	var ids []int
+	for _, name := range p1.Exposed {
+		id := c2.Lookup(name)
+		if id < 0 || c2.Nodes[id].Kind != netlist.KindLatch {
+			return nil, fmt.Errorf("core: latch %q exposed in first circuit is missing in second", name)
+		}
+		ids = append(ids, id)
+	}
+	b2, err := feedback.Expose(c2, ids)
+	if err != nil {
+		return nil, err
+	}
+	b2 = netlist.Sweep(b2, false)
+	if err := cbf.CheckAcyclic(b2); err != nil {
+		return nil, fmt.Errorf("core: second circuit still cyclic after matching exposure: %w", err)
+	}
+	return VerifyAcyclic(p1.Circuit, b2, opt)
+}

@@ -1,0 +1,127 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"seqver/internal/cbf"
+	"seqver/internal/netlist"
+	"seqver/internal/sim"
+)
+
+// Replay converts a CBF counterexample — an assignment to the unrolled
+// input-window variables a@k — back into a concrete input sequence for
+// the sequential circuits and simulates both to locate the cycle where
+// they diverge. This is the diagnostic the paper's flow implies (a CBF
+// minterm "can generate an input sequence", Theorem 5.1 proof) but that
+// verification tools must actually produce for users.
+type Replay struct {
+	// Sequence is the distinguishing input sequence (index [cycle][pi]),
+	// long enough to flush both circuits' power-up state before the
+	// observation point.
+	Sequence [][]bool
+	// Cycle is the observation cycle (the last one).
+	Cycle int
+	// Output is the first primary output that differs there.
+	Output string
+	// Got1/Got2 are the differing values.
+	Got1, Got2 bool
+}
+
+// ReplayCounterexample rebuilds the input sequence from a counterexample
+// produced by VerifyAcyclic's CBF path and validates it by sequential
+// simulation of both circuits (from all-zero power-up, after a flushing
+// prefix derived from the counterexample window). Returns an error if
+// the counterexample does not actually distinguish the circuits — which
+// would indicate a checker bug, not user error.
+func ReplayCounterexample(c1, c2 *netlist.Circuit, cex map[string]bool) (*Replay, error) {
+	if !c1.IsRegular() || !c2.IsRegular() {
+		return nil, fmt.Errorf("core: replay supports the CBF (regular-latch) path only")
+	}
+	// Window length: 1 + max delay mentioned in the counterexample, but
+	// at least 1 + each circuit's depth so the state is flushed.
+	maxK := 0
+	for name := range cex {
+		if _, k, err := cbf.ParseTimedName(name); err == nil && k > maxK {
+			maxK = k
+		}
+	}
+	d1, err := cbf.SequentialDepth(c1)
+	if err != nil {
+		return nil, err
+	}
+	d2, err := cbf.SequentialDepth(c2)
+	if err != nil {
+		return nil, err
+	}
+	if d1 > maxK {
+		maxK = d1
+	}
+	if d2 > maxK {
+		maxK = d2
+	}
+	length := maxK + 1
+
+	// Build the sequence: cycle t (0-based, observation at length-1)
+	// carries input a's value from variable a@(length-1-t); variables
+	// missing from the counterexample (outside both supports) are false.
+	piPos := make(map[string]int)
+	for i, n := range c1.InputNames() {
+		piPos[n] = i
+	}
+	seq := make([][]bool, length)
+	for t := range seq {
+		seq[t] = make([]bool, len(c1.Inputs))
+	}
+	for name, val := range cex {
+		base, k, err := cbf.ParseTimedName(name)
+		if err != nil {
+			return nil, fmt.Errorf("core: counterexample variable %q is not a CBF window variable", name)
+		}
+		pos, ok := piPos[base]
+		if !ok {
+			return nil, fmt.Errorf("core: counterexample mentions unknown input %q", base)
+		}
+		t := length - 1 - k
+		if t < 0 {
+			return nil, fmt.Errorf("core: internal error: delay %d outside window", k)
+		}
+		seq[t][pos] = val
+	}
+
+	// Simulate both; the divergence must appear at the final cycle.
+	s1, s2 := sim.New(c1), sim.New(c2)
+	o1 := s1.Run(seq, make(sim.State, len(c1.Latches)))
+	o2 := s2.Run(seq, make(sim.State, len(c2.Latches)))
+	last := length - 1
+
+	names := c1.OutputNames()
+	idx2 := outputIndexByName(c2)
+	order := append([]string(nil), names...)
+	sort.Strings(order)
+	for _, name := range order {
+		i1 := outputIndexByName(c1)[name]
+		i2, ok := idx2[name]
+		if !ok {
+			continue
+		}
+		if o1[last][i1] != o2[last][i2] {
+			return &Replay{
+				Sequence: seq,
+				Cycle:    last,
+				Output:   name,
+				Got1:     o1[last][i1],
+				Got2:     o2[last][i2],
+			}, nil
+		}
+	}
+	return nil, fmt.Errorf("core: counterexample failed to reproduce a divergence (checker bug?)")
+}
+
+func outputIndexByName(c *netlist.Circuit) map[string]int {
+	m := make(map[string]int, len(c.Outputs))
+	for i, o := range c.Outputs {
+		m[o.Name] = i
+	}
+	return m
+}

@@ -1,0 +1,437 @@
+// Package edbf implements Event-Driven Boolean Functions (Sections 4.2
+// and 5.2 of Ranjan et al.): the combinational representation of acyclic
+// sequential circuits with load-enabled latches.
+//
+// An event is the ordered sequence of enable predicates a value crosses
+// on its way from a primary input to an output, each annotated with its
+// latch offset from the output (the paper writes these as timed Boolean
+// predicates, e.g. η[a(τ), a(τ-1)b(τ-1)]). Instantiating one fresh
+// Boolean variable per (primary input, event) pair yields a combinational
+// circuit; by Theorem 5.2 equality of these circuits is equivalent to
+// sequential equivalence for circuits related by retiming and
+// combinational synthesis (Lemma 5.2 makes the event sequences
+// invariant), and a conservative sufficient check otherwise.
+//
+// Enable predicates are canonicalized as BDDs over the primary inputs (a
+// shared Ctx aligns predicate and event identities across the two
+// circuits under comparison), so synthesis rewriting an enable cone does
+// not perturb the event. The paper's rewrite rule (Eq. 5) —
+// η[p(τ), q(τ-1)] = η[q(τ-1)] when p ≥ q — is available behind the
+// Rewrite flag; it removes the Figure-10 class of false negatives and is
+// part of the paper's (syntactic, conservative) calculus rather than a
+// hardware-exact transformation.
+package edbf
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"seqver/internal/bdd"
+	"seqver/internal/netlist"
+)
+
+// Element is one event constituent: an enable predicate (by canonical id)
+// at a latch offset Delta from the observed output (the outermost enabled
+// latch has Delta 0; the paper writes p(τ-Delta)).
+type Element struct {
+	Pred  int
+	Delta int
+}
+
+// Event is a canonical event: elements sorted by ascending Delta, plus
+// the total latch depth crossed (regular latches contribute depth but no
+// element).
+type Event struct {
+	Elems []Element
+	Depth int
+}
+
+func (e Event) key() string {
+	var sb strings.Builder
+	for _, el := range e.Elems {
+		fmt.Fprintf(&sb, "p%dd%d;", el.Pred, el.Delta)
+	}
+	fmt.Fprintf(&sb, "|%d", e.Depth)
+	return sb.String()
+}
+
+// Ctx holds the shared predicate and event tables. Both circuits of a
+// comparison must be unrolled through the same Ctx so that variable names
+// align.
+type Ctx struct {
+	m       *bdd.Manager
+	varOf   map[string]int // primary input name -> BDD variable
+	predID  map[bdd.Ref]int
+	preds   []bdd.Ref
+	eventID map[string]int
+	events  []Event
+
+	// Rewrite enables the paper's Eq. 5 event rewriting:
+	// η[p(τ-k), q(τ-k-1)] = η[q(τ-k-1)] when q implies p.
+	Rewrite bool
+}
+
+// NewCtx returns an empty shared context.
+func NewCtx() *Ctx {
+	return &Ctx{
+		m:       bdd.New(0),
+		varOf:   make(map[string]int),
+		predID:  make(map[bdd.Ref]int),
+		eventID: make(map[string]int),
+	}
+}
+
+func (cx *Ctx) inputVar(name string) int {
+	v, ok := cx.varOf[name]
+	if !ok {
+		v = cx.m.AddVar()
+		cx.varOf[name] = v
+	}
+	return v
+}
+
+func (cx *Ctx) internPred(f bdd.Ref) int {
+	if id, ok := cx.predID[f]; ok {
+		return id
+	}
+	id := len(cx.preds)
+	cx.preds = append(cx.preds, f)
+	cx.predID[f] = id
+	return id
+}
+
+func (cx *Ctx) internEvent(e Event) int {
+	k := e.key()
+	if id, ok := cx.eventID[k]; ok {
+		return id
+	}
+	id := len(cx.events)
+	cx.events = append(cx.events, e)
+	cx.eventID[k] = id
+	return id
+}
+
+// NumEvents returns how many distinct events have been interned.
+func (cx *Ctx) NumEvents() int { return len(cx.events) }
+
+// EventString renders event id for diagnostics, e.g. "[p0@0 p1@1]|d2".
+func (cx *Ctx) EventString(id int) string {
+	e := cx.events[id]
+	var sb strings.Builder
+	sb.WriteByte('[')
+	for i, el := range e.Elems {
+		if i > 0 {
+			sb.WriteByte(' ')
+		}
+		fmt.Fprintf(&sb, "p%d@%d", el.Pred, el.Delta)
+	}
+	fmt.Fprintf(&sb, "]|d%d", e.Depth)
+	return sb.String()
+}
+
+// canon sorts elements by delta and applies the optional Eq. 5 rewrite.
+func (cx *Ctx) canon(e Event) Event {
+	sort.Slice(e.Elems, func(i, j int) bool { return e.Elems[i].Delta < e.Elems[j].Delta })
+	if !cx.Rewrite {
+		return e
+	}
+	// η[p(τ-k), q(τ-k-1)] = η[q(τ-k-1)] if q ⟹ p, applied to adjacent
+	// (delta, delta+1) pairs until fixpoint.
+	changed := true
+	for changed {
+		changed = false
+		for i := 0; i+1 < len(e.Elems); i++ {
+			p, q := e.Elems[i], e.Elems[i+1]
+			if q.Delta == p.Delta+1 && cx.m.Leq(cx.preds[q.Pred], cx.preds[p.Pred]) {
+				e.Elems = append(e.Elems[:i], e.Elems[i+1:]...)
+				changed = true
+				break
+			}
+		}
+	}
+	return e
+}
+
+// VarName renders the unrolled primary-input name for input `base`
+// sampled under event id ev.
+func VarName(base string, ev int) string {
+	return base + "#" + strconv.Itoa(ev)
+}
+
+// ParseVarName splits an unrolled input name into (base, event id).
+func ParseVarName(v string) (string, int, error) {
+	i := strings.LastIndexByte(v, '#')
+	if i < 0 {
+		return "", 0, fmt.Errorf("edbf: %q is not an event-variable name", v)
+	}
+	ev, err := strconv.Atoi(v[i+1:])
+	if err != nil {
+		return "", 0, err
+	}
+	return v[:i], ev, nil
+}
+
+// predicateOf computes the canonical function of an enable signal as a
+// BDD over primary inputs. The enable cone must be purely combinational
+// over primary inputs (no latches) — the circuit class the paper's
+// experimental setup targets; richer enables should be exposed first.
+func (cx *Ctx) predicateOf(c *netlist.Circuit, enable int, memo map[int]bdd.Ref) (bdd.Ref, error) {
+	var rec func(id int) (bdd.Ref, error)
+	rec = func(id int) (bdd.Ref, error) {
+		if f, ok := memo[id]; ok {
+			return f, nil
+		}
+		n := c.Nodes[id]
+		var f bdd.Ref
+		switch n.Kind {
+		case netlist.KindInput:
+			f = cx.m.Var(cx.inputVar(n.Name))
+		case netlist.KindLatch:
+			return bdd.False, fmt.Errorf("edbf: enable cone of %q passes through latch %q; expose it first", c.Name, n.Name)
+		case netlist.KindGate:
+			fins := make([]bdd.Ref, len(n.Fanins))
+			for i, fid := range n.Fanins {
+				var err error
+				if fins[i], err = rec(fid); err != nil {
+					return bdd.False, err
+				}
+			}
+			f = cx.gateBDD(n, fins)
+		}
+		memo[id] = f
+		return f, nil
+	}
+	return rec(enable)
+}
+
+func (cx *Ctx) gateBDD(n *netlist.Node, in []bdd.Ref) bdd.Ref {
+	m := cx.m
+	switch n.Op {
+	case netlist.OpConst0:
+		return bdd.False
+	case netlist.OpConst1:
+		return bdd.True
+	case netlist.OpBuf:
+		return in[0]
+	case netlist.OpNot:
+		return in[0].Not()
+	case netlist.OpAnd:
+		return m.And(in...)
+	case netlist.OpNand:
+		return m.And(in...).Not()
+	case netlist.OpOr:
+		return m.Or(in...)
+	case netlist.OpNor:
+		return m.Or(in...).Not()
+	case netlist.OpXor:
+		return m.Xor(in...)
+	case netlist.OpXnor:
+		return m.Xor(in...).Not()
+	case netlist.OpMux:
+		return m.Ite(in[0], in[1], in[2])
+	case netlist.OpTable:
+		sum := bdd.False
+		for _, cu := range n.Cover {
+			prod := bdd.True
+			for i := 0; i < len(cu); i++ {
+				switch cu[i] {
+				case '1':
+					prod = m.And(prod, in[i])
+				case '0':
+					prod = m.And(prod, in[i].Not())
+				}
+			}
+			sum = m.Or(sum, prod)
+		}
+		return sum
+	}
+	panic("edbf: gateBDD on " + n.Op.String())
+}
+
+// Unroll computes the EDBF of every primary output of c (the Figure 8
+// recursion) and materializes it as a combinational circuit whose primary
+// inputs are (input, event) variables named VarName(a, ev). The circuit
+// must be acyclic; both regular and load-enabled latches are supported
+// (regular latches degrade to pure delays, so on a regular-latch circuit
+// the EDBF coincides with the CBF up to variable naming).
+func (cx *Ctx) Unroll(c *netlist.Circuit) (*netlist.Circuit, error) {
+	if err := checkAcyclic(c); err != nil {
+		return nil, err
+	}
+	out := netlist.New(c.Name + "_edbf")
+
+	predMemo := make(map[int]bdd.Ref)
+	type key struct {
+		id, ev int
+	}
+	memo := make(map[key]int)
+	type evPI struct {
+		inputPos, ev int
+	}
+	piNodes := make(map[evPI]int)
+	inputPos := make(map[int]int)
+	for i, id := range c.Inputs {
+		inputPos[id] = i
+	}
+
+	var rec func(id int, ev int) (int, error)
+	rec = func(id int, ev int) (int, error) {
+		k := key{id, ev}
+		if nid, ok := memo[k]; ok {
+			return nid, nil
+		}
+		n := c.Nodes[id]
+		var nid int
+		switch n.Kind {
+		case netlist.KindInput:
+			tp := evPI{inputPos[id], ev}
+			pid, ok := piNodes[tp]
+			if !ok {
+				pid = out.AddInput(VarName(n.Name, ev))
+				piNodes[tp] = pid
+			}
+			nid = pid
+		case netlist.KindLatch:
+			e := cx.events[ev]
+			next := Event{Elems: append([]Element(nil), e.Elems...), Depth: e.Depth + 1}
+			if n.Enable != netlist.NoEnable {
+				pred, err := cx.predicateOf(c, n.Enable, predMemo)
+				if err != nil {
+					return 0, err
+				}
+				switch pred {
+				case bdd.True:
+					// Degenerate enable: a regular latch.
+				case bdd.False:
+					// The latch never loads: its value is the power-up
+					// nondeterminate, a fresh free variable.
+					nid = out.AddInput(fmt.Sprintf("undef:%s#%d", nodeName(c, id), ev))
+					memo[k] = nid
+					return nid, nil
+				default:
+					next.Elems = append(next.Elems, Element{Pred: cx.internPred(pred), Delta: e.Depth})
+				}
+			}
+			nextID := cx.internEvent(cx.canon(next))
+			var err error
+			nid, err = rec(n.Data(), nextID)
+			if err != nil {
+				return 0, err
+			}
+		case netlist.KindGate:
+			fins := make([]int, len(n.Fanins))
+			for j, f := range n.Fanins {
+				var err error
+				if fins[j], err = rec(f, ev); err != nil {
+					return 0, err
+				}
+			}
+			name := ""
+			if n.Name != "" {
+				name = n.Name + "#" + strconv.Itoa(ev)
+			}
+			if n.Op == netlist.OpTable {
+				nid = out.AddTable(name, fins, n.Cover)
+			} else {
+				nid = out.AddGate(name, n.Op, fins...)
+			}
+		}
+		memo[k] = nid
+		return nid, nil
+	}
+
+	empty := cx.internEvent(Event{})
+	for _, o := range c.Outputs {
+		nid, err := rec(o.Node, empty)
+		if err != nil {
+			return nil, err
+		}
+		out.AddOutput(o.Name, nid)
+	}
+
+	// Deterministic input order: (input position, event id); synthetic
+	// "undef" inputs keep their creation order at the end.
+	type entry struct {
+		tp  evPI
+		nid int
+	}
+	var entries []entry
+	for tp, nid := range piNodes {
+		entries = append(entries, entry{tp, nid})
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].tp.inputPos != entries[j].tp.inputPos {
+			return entries[i].tp.inputPos < entries[j].tp.inputPos
+		}
+		return entries[i].tp.ev < entries[j].tp.ev
+	})
+	ordered := make([]int, 0, len(out.Inputs))
+	for _, e := range entries {
+		ordered = append(ordered, e.nid)
+	}
+	// Append non-(input,event) PIs (undef variables) in original order.
+	inOrdered := make(map[int]bool, len(ordered))
+	for _, id := range ordered {
+		inOrdered[id] = true
+	}
+	for _, id := range out.Inputs {
+		if !inOrdered[id] {
+			ordered = append(ordered, id)
+		}
+	}
+	out.Inputs = ordered
+
+	if err := out.Check(); err != nil {
+		return nil, fmt.Errorf("edbf: internal error, unrolled circuit invalid: %w", err)
+	}
+	return out, nil
+}
+
+func nodeName(c *netlist.Circuit, id int) string {
+	if n := c.Nodes[id]; n.Name != "" {
+		return n.Name
+	}
+	return "n" + strconv.Itoa(id)
+}
+
+// checkAcyclic mirrors cbf.CheckAcyclic without importing it (identical
+// semantics: no feedback through latch data or enable edges).
+func checkAcyclic(c *netlist.Circuit) error {
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make([]uint8, len(c.Nodes))
+	var rec func(id int) error
+	rec = func(id int) error {
+		switch color[id] {
+		case gray:
+			return fmt.Errorf("edbf: feedback path through %q; expose or decompose feedback latches first", nodeName(c, id))
+		case black:
+			return nil
+		}
+		color[id] = gray
+		n := c.Nodes[id]
+		for _, f := range n.Fanins {
+			if err := rec(f); err != nil {
+				return err
+			}
+		}
+		if n.Kind == netlist.KindLatch && n.Enable != netlist.NoEnable {
+			if err := rec(n.Enable); err != nil {
+				return err
+			}
+		}
+		color[id] = black
+		return nil
+	}
+	for id := range c.Nodes {
+		if err := rec(id); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,437 @@
+package edbf
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"seqver/internal/netlist"
+	"seqver/internal/sim"
+)
+
+// evalAligned evaluates two combinational circuits under a shared
+// assignment of their (name-aligned) inputs and reports whether all
+// same-named outputs agree for every assignment over the union support.
+// Inputs present in only one circuit make the comparison fail only if an
+// output actually differs. Exhaustive — for small tests only.
+func evalAligned(t *testing.T, c1, c2 *netlist.Circuit) bool {
+	t.Helper()
+	names := map[string]int{}
+	var union []string
+	add := func(c *netlist.Circuit) {
+		for _, n := range c.InputNames() {
+			if _, ok := names[n]; !ok {
+				names[n] = len(union)
+				union = append(union, n)
+			}
+		}
+	}
+	add(c1)
+	add(c2)
+	if len(union) > 16 {
+		t.Fatalf("too many aligned inputs: %d", len(union))
+	}
+	s1, s2 := sim.New(c1), sim.New(c2)
+	pick := func(c *netlist.Circuit, assign []bool) []bool {
+		in := make([]bool, len(c.Inputs))
+		for i, n := range c.InputNames() {
+			in[i] = assign[names[n]]
+		}
+		return in
+	}
+	for m := 0; m < 1<<uint(len(union)); m++ {
+		assign := make([]bool, len(union))
+		for i := range assign {
+			assign[i] = m&(1<<uint(i)) != 0
+		}
+		o1, _ := s1.Step(pick(c1, assign), sim.State{})
+		o2, _ := s2.Step(pick(c2, assign), sim.State{})
+		for i := range o1 {
+			if o1[i] != o2[i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// figure5 builds the paper's Figure 5: u through two enabled latches
+// (e2 outer, e1 inner toward the input? — the paper derives
+// z = u(η[e1,e2,E])·v(η[e3,E]) for u→L1(e1)→L2(e2) and v→L3(e3)),
+// ANDed with v through one enabled latch.
+func figure5() *netlist.Circuit {
+	c := netlist.New("fig5")
+	u := c.AddInput("u")
+	v := c.AddInput("v")
+	e1 := c.AddInput("e1")
+	e2 := c.AddInput("e2")
+	e3 := c.AddInput("e3")
+	w := c.AddEnabledLatch("w", u, e1)
+	y := c.AddEnabledLatch("y", w, e2)
+	x := c.AddEnabledLatch("x", v, e3)
+	z := c.AddGate("z", netlist.OpAnd, y, x)
+	c.AddOutput("z", z)
+	return c
+}
+
+func TestFigure5EDBF(t *testing.T) {
+	cx := NewCtx()
+	u, err := cx.Unroll(figure5())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Expect exactly two event variables: u under [e2@0,e1@1]|d2 and v
+	// under [e3@0]|d1 (plus no others).
+	if len(u.Inputs) != 2 {
+		t.Fatalf("inputs = %v", u.InputNames())
+	}
+	var bases []string
+	for _, n := range u.InputNames() {
+		b, ev, err := ParseVarName(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bases = append(bases, b)
+		es := cx.EventString(ev)
+		switch b {
+		case "u":
+			if es != "[p0@0 p1@1]|d2" && es != "[p1@0 p0@1]|d2" {
+				t.Fatalf("u event = %s", es)
+			}
+		case "v":
+			if es[len(es)-3:] != "|d1" {
+				t.Fatalf("v event = %s", es)
+			}
+		}
+	}
+	sort.Strings(bases)
+	if bases[0] != "u" || bases[1] != "v" {
+		t.Fatalf("bases = %v", bases)
+	}
+}
+
+func TestRegularLatchesDegradeToCBF(t *testing.T) {
+	// A regular-latch pipeline: EDBF variables are pure-delay events.
+	c := netlist.New("pipe")
+	a := c.AddInput("a")
+	l1 := c.AddLatch("l1", a)
+	l2 := c.AddLatch("l2", l1)
+	c.AddOutput("o", l2)
+	cx := NewCtx()
+	u, err := cx.Unroll(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(u.Inputs) != 1 {
+		t.Fatalf("inputs = %v", u.InputNames())
+	}
+	_, ev, err := ParseVarName(u.InputNames()[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := cx.EventString(ev); got != "[]|d2" {
+		t.Fatalf("event = %s, want pure delay 2", got)
+	}
+}
+
+func TestConstTrueEnableIsRegular(t *testing.T) {
+	// An enabled latch whose enable cone is constant 1 behaves as a
+	// regular latch: no event element.
+	c := netlist.New("c1")
+	a := c.AddInput("a")
+	one := c.AddGate("one", netlist.OpConst1)
+	q := c.AddEnabledLatch("q", a, one)
+	c.AddOutput("o", q)
+	cx := NewCtx()
+	u, err := cx.Unroll(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ev, _ := ParseVarName(u.InputNames()[0])
+	if got := cx.EventString(ev); got != "[]|d1" {
+		t.Fatalf("event = %s", got)
+	}
+}
+
+func TestConstFalseEnableIsUndef(t *testing.T) {
+	c := netlist.New("c0")
+	a := c.AddInput("a")
+	zero := c.AddGate("zero", netlist.OpConst0)
+	q := c.AddEnabledLatch("q", a, zero)
+	c.AddOutput("o", q)
+	cx := NewCtx()
+	u, err := cx.Unroll(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(u.Inputs) != 1 || u.InputNames()[0][:6] != "undef:" {
+		t.Fatalf("inputs = %v", u.InputNames())
+	}
+}
+
+func TestEnableThroughLatchRejected(t *testing.T) {
+	c := netlist.New("bad")
+	a := c.AddInput("a")
+	e := c.AddInput("e")
+	le := c.AddLatch("le", e)
+	q := c.AddEnabledLatch("q", a, le)
+	c.AddOutput("o", q)
+	cx := NewCtx()
+	if _, err := cx.Unroll(c); err == nil {
+		t.Fatal("latch-fed enable cone accepted")
+	}
+}
+
+// figure10 builds both circuits of the paper's Figure 10.
+// (a): c → L2(enable a·b) → L1(enable a) → O1.
+// (b): c → L3(enable a·b) → regular latch → O2.
+// Their EDBFs differ syntactically (false negative) until the Eq. 5
+// rewrite drops the outer enable a, since a·b ⟹ a.
+func figure10() (*netlist.Circuit, *netlist.Circuit) {
+	mk := func(name string, outerEnabled bool) *netlist.Circuit {
+		c := netlist.New(name)
+		cin := c.AddInput("c")
+		a := c.AddInput("a")
+		b := c.AddInput("b")
+		ab := c.AddGate("ab", netlist.OpAnd, a, b)
+		inner := c.AddEnabledLatch("inner", cin, ab)
+		var outer int
+		if outerEnabled {
+			outer = c.AddEnabledLatch("outer", inner, a)
+		} else {
+			outer = c.AddLatch("outer", inner)
+		}
+		c.AddOutput("o", outer)
+		return c
+	}
+	return mk("fig10a", true), mk("fig10b", false)
+}
+
+func TestFigure10RewriteRemovesFalseNegative(t *testing.T) {
+	ca, cb := figure10()
+	// Without the rewrite: different event variables, so the EDBFs have
+	// disjoint supports and (being non-constant) differ.
+	cx := NewCtx()
+	ua, err := cx.Unroll(ca)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ub, err := cx.Unroll(cb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ua.InputNames()[0] == ub.InputNames()[0] {
+		t.Fatal("expected syntactically different events without rewrite")
+	}
+	if evalAligned(t, ua, ub) {
+		t.Fatal("expected a (false-negative) mismatch without rewrite")
+	}
+	// With the Eq. 5 rewrite the events coincide and the EDBFs match.
+	cx2 := NewCtx()
+	cx2.Rewrite = true
+	ua2, err := cx2.Unroll(ca)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ub2, err := cx2.Unroll(cb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ua2.InputNames()[0] != ub2.InputNames()[0] {
+		t.Fatalf("rewrite failed to unify events: %v vs %v",
+			ua2.InputNames(), ub2.InputNames())
+	}
+	if !evalAligned(t, ua2, ub2) {
+		t.Fatal("EDBFs differ after rewrite")
+	}
+}
+
+// figure11 builds the two decompositions behind the paper's Figure 11:
+// the feedback function F(x) = a·x + b modeled as an enabled latch with
+// the unique enable e = ¬a + b and the two extreme data choices
+// d = F_x̄ = b and d = F_x = a + b. The circuits are sequentially
+// equivalent (d is free where e = 0) but their EDBFs differ — the
+// documented, inherent conservatism of the event calculus.
+func figure11() (*netlist.Circuit, *netlist.Circuit) {
+	mk := func(name string, upper bool) *netlist.Circuit {
+		c := netlist.New(name)
+		a := c.AddInput("a")
+		b := c.AddInput("b")
+		na := c.AddGate("na", netlist.OpNot, a)
+		e := c.AddGate("e", netlist.OpOr, na, b)
+		var d int
+		if upper {
+			d = c.AddGate("d", netlist.OpOr, a, b)
+		} else {
+			d = b
+		}
+		q := c.AddEnabledLatch("q", d, e)
+		c.AddOutput("o", q)
+		return c
+	}
+	return mk("fig11a", false), mk("fig11b", true)
+}
+
+func TestFigure11InherentConservatism(t *testing.T) {
+	ca, cb := figure11()
+	// The circuits ARE sequentially equivalent (simulation oracle).
+	rng := rand.New(rand.NewSource(53))
+	eq, witness := sim.ExactEquivalent(ca, cb, 24, 8, rng)
+	if !eq {
+		t.Fatalf("figure-11 circuits should be sequentially equivalent; witness %v", witness)
+	}
+	// But the EDBFs differ, even with the rewrite enabled: data/enable
+	// interaction is beyond the event calculus (paper, end of §5.2).
+	for _, rewrite := range []bool{false, true} {
+		cx := NewCtx()
+		cx.Rewrite = rewrite
+		ua, err := cx.Unroll(ca)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ub, err := cx.Unroll(cb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if evalAligned(t, ua, ub) {
+			t.Fatalf("rewrite=%v: EDBFs unexpectedly match (conservatism gone?)", rewrite)
+		}
+	}
+}
+
+func TestSharedContextAlignsEvents(t *testing.T) {
+	// The same circuit unrolled twice through one context yields
+	// identical input names.
+	c1 := figure5()
+	c2 := figure5()
+	cx := NewCtx()
+	u1, err := cx.Unroll(c1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u2, err := cx.Unroll(c2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n1, n2 := u1.InputNames(), u2.InputNames()
+	if len(n1) != len(n2) {
+		t.Fatalf("%v vs %v", n1, n2)
+	}
+	for i := range n1 {
+		if n1[i] != n2[i] {
+			t.Fatalf("input %d: %s vs %s", i, n1[i], n2[i])
+		}
+	}
+	if !evalAligned(t, u1, u2) {
+		t.Fatal("identical circuits have different EDBFs")
+	}
+}
+
+func TestEnableConeResynthesisInvariant(t *testing.T) {
+	// Synthesis may rewrite the enable cone; the canonical (BDD)
+	// predicate keeps the event aligned. e = ¬(¬a·¬b) vs e = a+b.
+	mk := func(name string, deMorgan bool) *netlist.Circuit {
+		c := netlist.New(name)
+		d := c.AddInput("d")
+		a := c.AddInput("a")
+		b := c.AddInput("b")
+		var e int
+		if deMorgan {
+			na := c.AddGate("na", netlist.OpNot, a)
+			nb := c.AddGate("nb", netlist.OpNot, b)
+			an := c.AddGate("an", netlist.OpAnd, na, nb)
+			e = c.AddGate("e", netlist.OpNot, an)
+		} else {
+			e = c.AddGate("e", netlist.OpOr, a, b)
+		}
+		q := c.AddEnabledLatch("q", d, e)
+		c.AddOutput("o", q)
+		return c
+	}
+	cx := NewCtx()
+	u1, err := cx.Unroll(mk("m1", false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	u2, err := cx.Unroll(mk("m2", true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u1.InputNames()[0] != u2.InputNames()[0] {
+		t.Fatalf("resynthesized enable broke event identity: %v vs %v",
+			u1.InputNames(), u2.InputNames())
+	}
+}
+
+func TestFeedbackRejected(t *testing.T) {
+	c := netlist.New("fb")
+	e := c.AddInput("e")
+	q := c.AddEnabledLatch("q", 0, e)
+	g := c.AddGate("g", netlist.OpNot, q)
+	c.SetLatchData(q, g)
+	c.AddOutput("o", q)
+	cx := NewCtx()
+	if _, err := cx.Unroll(c); err == nil {
+		t.Fatal("feedback accepted")
+	}
+}
+
+func TestParseVarName(t *testing.T) {
+	b, ev, err := ParseVarName("sig#7")
+	if err != nil || b != "sig" || ev != 7 {
+		t.Fatalf("%q %d %v", b, ev, err)
+	}
+	if _, _, err := ParseVarName("plain"); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestEventInterningDeterministic(t *testing.T) {
+	cx := NewCtx()
+	e1 := cx.internEvent(Event{Depth: 3})
+	e2 := cx.internEvent(Event{Depth: 3})
+	if e1 != e2 {
+		t.Fatal("identical events interned twice")
+	}
+	e3 := cx.internEvent(Event{Depth: 4})
+	if e3 == e1 {
+		t.Fatal("distinct events merged")
+	}
+	if cx.NumEvents() != 2 {
+		t.Fatalf("NumEvents = %d", cx.NumEvents())
+	}
+}
+
+// TestEDBFWindowOracle cross-validates the EDBF against hardware
+// simulation for a single enabled latch: once the enable has fired at
+// least once, the sequential output equals the data input sampled at the
+// most recent enable time strictly before the observation cycle.
+func TestEDBFWindowOracle(t *testing.T) {
+	c := netlist.New("one")
+	d := c.AddInput("d")
+	e := c.AddInput("e")
+	q := c.AddEnabledLatch("q", d, e)
+	c.AddOutput("o", q)
+	s := sim.New(c)
+	rng := rand.New(rand.NewSource(59))
+	for trial := 0; trial < 50; trial++ {
+		seq := s.RandomSequence(8, rng)
+		st := s.RandomState(rng)
+		outs := s.Run(seq, st)
+		// Most recent cycle τ < 7 with e(τ) = 1.
+		last := -1
+		for tau := 6; tau >= 0; tau-- {
+			if seq[tau][1] {
+				last = tau
+				break
+			}
+		}
+		if last < 0 {
+			continue // power-up value persists: no prediction
+		}
+		if outs[7][0] != seq[last][0] {
+			t.Fatalf("trial %d: hardware %v, event semantics predict %v (τ=%d)",
+				trial, outs[7][0], seq[last][0], last)
+		}
+	}
+}

@@ -1,0 +1,174 @@
+// Package explicit implements explicit-state product-machine traversal —
+// the first baseline category of the paper's Section 2: "Explicit state
+// enumeration techniques perform an explicit traversal of the state
+// space. Due to the explicit nature of this technique, it is limited to
+// only a small number of state elements." This package exists to make
+// that limitation measurable next to the symbolic baseline (seqbdd) and
+// the paper's combinational reduction (core).
+package explicit
+
+import (
+	"fmt"
+	"time"
+
+	"seqver/internal/netlist"
+	"seqver/internal/sim"
+)
+
+// Verdict is the outcome of an explicit traversal.
+type Verdict int
+
+const (
+	// LimitExceeded means the state or transition budget ran out.
+	LimitExceeded Verdict = iota
+	// Equivalent: outputs agree on every reachable product state/input.
+	Equivalent
+	// Inequivalent: a reachable state and input distinguish the outputs.
+	Inequivalent
+)
+
+func (v Verdict) String() string {
+	switch v {
+	case Equivalent:
+		return "equivalent"
+	case Inequivalent:
+		return "inequivalent"
+	}
+	return "limit-exceeded"
+}
+
+// Options bounds the search.
+type Options struct {
+	// MaxStates bounds the visited product-state count (default 1<<20).
+	MaxStates int
+}
+
+// Result reports the traversal outcome.
+type Result struct {
+	Verdict Verdict
+	States  int // distinct product states visited
+	Depth   int // BFS depth reached
+	Elapsed time.Duration
+	// Trace is a distinguishing input sequence when Inequivalent.
+	Trace [][]bool
+}
+
+// CheckResetEquivalence explicitly enumerates the product machine's
+// reachable states from the all-zero reset, checking output agreement
+// for every input vector at every state. Both circuits must share input
+// and output arity (inputs matched positionally) and have at most 32
+// latches each; inputs are exhaustively enumerated, so the input count
+// must be modest (<= 16).
+func CheckResetEquivalence(c1, c2 *netlist.Circuit, opt Options) (*Result, error) {
+	start := time.Now()
+	if opt.MaxStates == 0 {
+		opt.MaxStates = 1 << 20
+	}
+	if len(c1.Inputs) != len(c2.Inputs) || len(c1.Outputs) != len(c2.Outputs) {
+		return nil, fmt.Errorf("explicit: interface mismatch")
+	}
+	if len(c1.Inputs) > 16 {
+		return nil, fmt.Errorf("explicit: %d inputs is too many to enumerate", len(c1.Inputs))
+	}
+	if len(c1.Latches) > 32 || len(c2.Latches) > 32 {
+		return nil, fmt.Errorf("explicit: too many latches for packed states")
+	}
+	res := &Result{}
+	defer func() { res.Elapsed = time.Since(start) }()
+
+	s1, s2 := sim.New(c1), sim.New(c2)
+	pack := func(st sim.State) uint64 {
+		var v uint64
+		for i, b := range st {
+			if b {
+				v |= 1 << uint(i)
+			}
+		}
+		return v
+	}
+	unpack := func(v uint64, n int) sim.State {
+		st := make(sim.State, n)
+		for i := range st {
+			st[i] = v&(1<<uint(i)) != 0
+		}
+		return st
+	}
+
+	nIn := len(c1.Inputs)
+	inputs := make([][]bool, 1<<uint(nIn))
+	for m := range inputs {
+		in := make([]bool, nIn)
+		for i := 0; i < nIn; i++ {
+			in[i] = m&(1<<uint(i)) != 0
+		}
+		inputs[m] = in
+	}
+
+	startState := product{0, 0}
+	seen := map[product]bool{startState: true}
+	parent := map[product]parentEntry{}
+	frontier := []product{startState}
+	for len(frontier) > 0 {
+		var next []product
+		for _, p := range frontier {
+			st1 := unpack(p.a, len(c1.Latches))
+			st2 := unpack(p.b, len(c2.Latches))
+			for m, in := range inputs {
+				o1, n1 := s1.Step(in, st1)
+				o2, n2 := s2.Step(in, st2)
+				for i := range o1 {
+					if o1[i] != o2[i] {
+						res.Verdict = Inequivalent
+						res.States = len(seen)
+						res.Trace = rebuildTrace(parent, p, m, inputs)
+						return res, nil
+					}
+				}
+				np := product{pack(n1), pack(n2)}
+				if !seen[np] {
+					if len(seen) >= opt.MaxStates {
+						res.Verdict = LimitExceeded
+						res.States = len(seen)
+						return res, nil
+					}
+					seen[np] = true
+					parent[np] = parentEntry{p, m}
+					next = append(next, np)
+				}
+			}
+		}
+		frontier = next
+		res.Depth++
+	}
+	res.Verdict = Equivalent
+	res.States = len(seen)
+	return res, nil
+}
+
+func rebuildTrace(parent map[product]parentEntry, last product, finalIn int, inputs [][]bool) [][]bool {
+	var rev []int
+	cur := last
+	for {
+		p, ok := parent[cur]
+		if !ok {
+			break
+		}
+		rev = append(rev, p.in)
+		cur = p.prev
+	}
+	trace := make([][]bool, 0, len(rev)+1)
+	for i := len(rev) - 1; i >= 0; i-- {
+		trace = append(trace, inputs[rev[i]])
+	}
+	trace = append(trace, inputs[finalIn])
+	return trace
+}
+
+// product is a packed pair of latch-state words, one per circuit.
+type product struct{ a, b uint64 }
+
+// parentEntry records how a product state was first reached.
+type parentEntry struct {
+	prev product
+	in   int
+}

@@ -1,0 +1,121 @@
+package explicit
+
+import (
+	"testing"
+
+	"seqver/internal/netlist"
+	"seqver/internal/sim"
+)
+
+func counterN(n int) *netlist.Circuit {
+	c := netlist.New("cnt")
+	en := c.AddInput("en")
+	var bits []int
+	for i := 0; i < n; i++ {
+		bits = append(bits, c.AddLatch("b"+string(rune('0'+i)), 0))
+	}
+	carry := en
+	for i := 0; i < n; i++ {
+		sum := c.AddGate("", netlist.OpXor, bits[i], carry)
+		carry = c.AddGate("", netlist.OpAnd, bits[i], carry)
+		c.SetLatchData(bits[i], sum)
+	}
+	c.AddOutput("msb", bits[n-1])
+	return c
+}
+
+func TestExplicitSelfEquivalence(t *testing.T) {
+	c := counterN(5)
+	res, err := CheckResetEquivalence(c, c.Clone(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != Equivalent {
+		t.Fatalf("verdict %v", res.Verdict)
+	}
+	if res.States != 32 {
+		t.Fatalf("states = %d, want 32 (diagonal)", res.States)
+	}
+}
+
+func TestExplicitFindsBugWithTrace(t *testing.T) {
+	c1 := counterN(4)
+	c2 := counterN(4)
+	inv := c2.AddGate("inv", netlist.OpNot, c2.Outputs[0].Node)
+	c2.Outputs[0].Node = inv
+	res, err := CheckResetEquivalence(c1, c2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != Inequivalent {
+		t.Fatalf("verdict %v", res.Verdict)
+	}
+	// Replay the trace: last cycle must differ.
+	s1, s2 := sim.New(c1), sim.New(c2)
+	st1 := make(sim.State, len(c1.Latches))
+	st2 := make(sim.State, len(c2.Latches))
+	var o1, o2 []bool
+	for _, in := range res.Trace {
+		o1, st1 = s1.Step(in, st1)
+		o2, st2 = s2.Step(in, st2)
+	}
+	if o1[0] == o2[0] {
+		t.Fatalf("trace of %d cycles does not distinguish", len(res.Trace))
+	}
+}
+
+func TestExplicitDeepBug(t *testing.T) {
+	// The wrap-around bug: explicit BFS must walk all 16 counts.
+	c1 := counterN(4)
+	c2 := netlist.New("cnt")
+	en := c2.AddInput("en")
+	var bits []int
+	for i := 0; i < 4; i++ {
+		bits = append(bits, c2.AddLatch("b"+string(rune('0'+i)), 0))
+	}
+	carry := en
+	for i := 0; i < 4; i++ {
+		var sum int
+		if i == 3 {
+			sum = c2.AddGate("", netlist.OpOr, bits[i], carry)
+		} else {
+			sum = c2.AddGate("", netlist.OpXor, bits[i], carry)
+		}
+		nc := c2.AddGate("", netlist.OpAnd, bits[i], carry)
+		c2.SetLatchData(bits[i], sum)
+		carry = nc
+	}
+	c2.AddOutput("msb", bits[3])
+	res, err := CheckResetEquivalence(c1, c2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != Inequivalent {
+		t.Fatalf("verdict %v after %d states", res.Verdict, res.States)
+	}
+	if len(res.Trace) < 10 {
+		t.Fatalf("trace too short: %d", len(res.Trace))
+	}
+}
+
+func TestExplicitLimit(t *testing.T) {
+	c := counterN(12)
+	res, err := CheckResetEquivalence(c, c.Clone(), Options{MaxStates: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != LimitExceeded {
+		t.Fatalf("verdict %v", res.Verdict)
+	}
+}
+
+func TestExplicitGuards(t *testing.T) {
+	wide := netlist.New("wide")
+	for i := 0; i < 20; i++ {
+		wide.AddInput(string(rune('a'+i%26)) + string(rune('0'+i/26)))
+	}
+	wide.AddOutput("o", wide.Inputs[0])
+	if _, err := CheckResetEquivalence(wide, wide.Clone(), Options{}); err == nil {
+		t.Fatal("too-many-inputs accepted")
+	}
+}

@@ -1,0 +1,332 @@
+package feedback
+
+import (
+	"math/rand"
+	"testing"
+
+	"seqver/internal/cbf"
+	"seqver/internal/netlist"
+	"seqver/internal/sim"
+)
+
+// graphFromEdges builds a Graph with n vertices and the given edges.
+func graphFromEdges(n int, edges [][2]int) *Graph {
+	g := &Graph{LatchID: make([]int, n), Adj: make([][]int, n)}
+	for i := range g.LatchID {
+		g.LatchID[i] = i
+	}
+	for _, e := range edges {
+		g.Adj[e[0]] = append(g.Adj[e[0]], e[1])
+	}
+	return g
+}
+
+func TestLatchGraphShape(t *testing.T) {
+	// l1 -> l2 (l2's data cone reads l1); l2 -> l1 (cycle); l3 isolated.
+	c := netlist.New("g")
+	a := c.AddInput("a")
+	l1 := c.AddLatch("l1", 0)
+	l2 := c.AddLatch("l2", 0)
+	l3 := c.AddLatch("l3", a)
+	g1 := c.AddGate("g1", netlist.OpAnd, l1, a)
+	g2 := c.AddGate("g2", netlist.OpOr, l2, a)
+	c.SetLatchData(l2, g1)
+	c.SetLatchData(l1, g2)
+	c.AddOutput("o", l3)
+	g := LatchGraph(c)
+	if g.NumVertices() != 3 {
+		t.Fatalf("vertices = %d", g.NumVertices())
+	}
+	// vertex order follows c.Latches: [l1, l2, l3].
+	if len(g.Adj[0]) != 1 || g.Adj[0][0] != 1 {
+		t.Fatalf("adj[l1] = %v", g.Adj[0])
+	}
+	if len(g.Adj[1]) != 1 || g.Adj[1][0] != 0 {
+		t.Fatalf("adj[l2] = %v", g.Adj[1])
+	}
+	if len(g.Adj[2]) != 0 {
+		t.Fatalf("adj[l3] = %v", g.Adj[2])
+	}
+}
+
+func TestLatchGraphEnableEdges(t *testing.T) {
+	// l2's ENABLE cone reads l1: edge l1 -> l2.
+	c := netlist.New("ge")
+	a := c.AddInput("a")
+	l1 := c.AddLatch("l1", a)
+	l2 := c.AddEnabledLatch("l2", a, l1)
+	c.AddOutput("o", l2)
+	g := LatchGraph(c)
+	if len(g.Adj[0]) != 1 || g.Adj[0][0] != 1 {
+		t.Fatalf("enable edge missing: %v", g.Adj)
+	}
+}
+
+func TestSCCs(t *testing.T) {
+	// 0<->1 form an SCC; 2->3->4->2 form another; 5 alone.
+	g := graphFromEdges(6, [][2]int{{0, 1}, {1, 0}, {2, 3}, {3, 4}, {4, 2}, {1, 2}, {4, 5}})
+	comps := SCCs(g)
+	sizes := map[int]int{}
+	for _, comp := range comps {
+		sizes[len(comp)]++
+	}
+	if sizes[2] != 1 || sizes[3] != 1 || sizes[1] != 1 {
+		t.Fatalf("components = %v", comps)
+	}
+}
+
+func TestSCCsReverseTopological(t *testing.T) {
+	// Chain 0 -> 1 -> 2: components come out callees-first.
+	g := graphFromEdges(3, [][2]int{{0, 1}, {1, 2}})
+	comps := SCCs(g)
+	if len(comps) != 3 {
+		t.Fatalf("comps = %v", comps)
+	}
+	pos := map[int]int{}
+	for i, comp := range comps {
+		pos[comp[0]] = i
+	}
+	if !(pos[2] < pos[1] && pos[1] < pos[0]) {
+		t.Fatalf("not reverse topological: %v", comps)
+	}
+}
+
+func TestMFVSSelfLoopMandatory(t *testing.T) {
+	g := graphFromEdges(3, [][2]int{{0, 0}, {1, 2}})
+	sel := MFVS(g, nil)
+	if len(sel) != 1 || sel[0] != 0 {
+		t.Fatalf("sel = %v", sel)
+	}
+}
+
+func TestMFVSSimpleCycle(t *testing.T) {
+	g := graphFromEdges(4, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 0}})
+	sel := MFVS(g, nil)
+	if len(sel) != 1 {
+		t.Fatalf("single cycle needs one vertex, got %v", sel)
+	}
+}
+
+func TestMFVSTwoDisjointCycles(t *testing.T) {
+	g := graphFromEdges(6, [][2]int{{0, 1}, {1, 0}, {2, 3}, {3, 4}, {4, 2}, {5, 5}})
+	sel := MFVS(g, nil)
+	if len(sel) != 3 {
+		t.Fatalf("want 3 vertices (one per cycle), got %v", sel)
+	}
+}
+
+func TestMFVSAcyclicGraphEmpty(t *testing.T) {
+	g := graphFromEdges(4, [][2]int{{0, 1}, {0, 2}, {1, 3}, {2, 3}})
+	if sel := MFVS(g, nil); len(sel) != 0 {
+		t.Fatalf("acyclic graph selected %v", sel)
+	}
+}
+
+func TestMFVSPropertyRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for trial := 0; trial < 60; trial++ {
+		n := 4 + rng.Intn(12)
+		var edges [][2]int
+		for i := 0; i < n*2; i++ {
+			edges = append(edges, [2]int{rng.Intn(n), rng.Intn(n)})
+		}
+		g := graphFromEdges(n, edges)
+		sel := MFVS(g, nil)
+		removed := make([]bool, n)
+		for _, v := range sel {
+			removed[v] = true
+		}
+		if !isAcyclicWithout(g, removed) {
+			t.Fatalf("trial %d: MFVS does not break all cycles", trial)
+		}
+		// Inclusion-minimality: every selected vertex is necessary.
+		for _, v := range sel {
+			removed[v] = false
+			if isAcyclicWithout(g, removed) {
+				t.Fatalf("trial %d: vertex %d redundant in %v", trial, v, sel)
+			}
+			removed[v] = true
+		}
+	}
+}
+
+func TestMFVSProtected(t *testing.T) {
+	// Cycle 0<->1 where 0 is protected: 1 must be chosen.
+	g := graphFromEdges(2, [][2]int{{0, 1}, {1, 0}})
+	sel := MFVS(g, []bool{true, false})
+	if len(sel) != 1 || sel[0] != 1 {
+		t.Fatalf("sel = %v, want [1]", sel)
+	}
+	// If both are protected the cycle must still be broken.
+	sel = MFVS(g, []bool{true, true})
+	if len(sel) != 1 {
+		t.Fatalf("sel = %v", sel)
+	}
+}
+
+// fsmCircuit builds a 2-latch FSM with cross feedback plus a pipeline
+// latch, the Figure 15 shape.
+func fsmCircuit() *netlist.Circuit {
+	c := netlist.New("fsm")
+	in := c.AddInput("in")
+	s0 := c.AddLatch("s0", 0)
+	s1 := c.AddLatch("s1", 0)
+	n0 := c.AddGate("n0", netlist.OpXor, s1, in)
+	n1 := c.AddGate("n1", netlist.OpAnd, s0, in)
+	c.SetLatchData(s0, n0)
+	c.SetLatchData(s1, n1)
+	p := c.AddLatch("p", n0)
+	o := c.AddGate("o", netlist.OpOr, p, s1)
+	c.AddOutput("o", o)
+	return c
+}
+
+func TestExposeBreaksFeedback(t *testing.T) {
+	c := fsmCircuit()
+	if err := cbf.CheckAcyclic(c); err == nil {
+		t.Fatal("fsm should have feedback")
+	}
+	b, exposed, err := BreakFeedback(c, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(exposed) == 0 {
+		t.Fatal("nothing exposed")
+	}
+	if err := cbf.CheckAcyclic(b); err != nil {
+		t.Fatalf("still cyclic after exposure: %v", err)
+	}
+	// Exposed latches appear as inputs and $ns outputs.
+	for _, id := range exposed {
+		name := c.Nodes[id].Name
+		if b.Lookup(ExposedInputName(name)) < 0 {
+			t.Fatalf("missing exposed input %s", name)
+		}
+		found := false
+		for _, o := range b.Outputs {
+			if o.Name == ExposedOutputName(name) {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("missing exposed output for %s", name)
+		}
+	}
+	// CBF construction now succeeds.
+	if _, err := cbf.Unroll(netlist.Sweep(b, false)); err != nil {
+		t.Fatalf("Unroll after exposure: %v", err)
+	}
+}
+
+func TestExposePreservesSingleStepBehaviour(t *testing.T) {
+	// The cut circuit, driven with the latch value on the pseudo-input,
+	// computes the same outputs and the same next-state values as one
+	// step of the original.
+	c := fsmCircuit()
+	b, exposed, err := BreakFeedback(c, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(73))
+	sc, sb := sim.New(c), sim.New(b)
+	for trial := 0; trial < 40; trial++ {
+		st := sc.RandomState(rng)
+		in := []bool{rng.Intn(2) == 1}
+		outC, nextC := sc.Step(in, st)
+
+		// Build b's inputs: original inputs plus exposed latch values.
+		inB := make([]bool, len(b.Inputs))
+		stB := make(sim.State, len(b.Latches))
+		stIdx := map[string]int{}
+		for i, id := range c.Latches {
+			stIdx[c.Nodes[id].Name] = i
+		}
+		for i, id := range b.Inputs {
+			name := b.Nodes[id].Name
+			if j, ok := stIdx[name]; ok {
+				inB[i] = st[j]
+			} else {
+				inB[i] = in[0]
+			}
+		}
+		for i, id := range b.Latches {
+			stB[i] = st[stIdx[b.Nodes[id].Name]]
+		}
+		outB, _ := sb.Step(inB, stB)
+		// Original POs come first in b.Outputs order? Outputs were
+		// appended: original outputs then $ns outputs.
+		for i := range c.Outputs {
+			if outB[i] != outC[i] {
+				t.Fatalf("trial %d: PO %s differs", trial, c.Outputs[i].Name)
+			}
+		}
+		for i := len(c.Outputs); i < len(b.Outputs); i++ {
+			name := b.Outputs[i].Name
+			base := name[:len(name)-3] // strip "$ns"
+			if outB[i] != nextC[stIdx[base]] {
+				t.Fatalf("trial %d: next-state %s differs", trial, base)
+			}
+		}
+		_ = exposed
+	}
+}
+
+func TestExposeEnabledLatch(t *testing.T) {
+	// Exposing an enabled latch must route enable·data + ¬enable·state
+	// to the $ns output.
+	c := netlist.New("en")
+	d := c.AddInput("d")
+	e := c.AddInput("e")
+	q := c.AddEnabledLatch("q", d, e)
+	c.AddOutput("o", q)
+	b, err := Expose(c, []int{q})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := sim.New(b)
+	// inputs of b: d, e, q(pseudo). Try e=0: ns == q; e=1: ns == d.
+	idx := map[string]int{}
+	for i, id := range b.Inputs {
+		idx[b.Nodes[id].Name] = i
+	}
+	in := make([]bool, len(b.Inputs))
+	in[idx["d"]], in[idx["e"]], in[idx["q"]] = true, false, false
+	out, _ := s.Step(in, sim.State{})
+	if out[1] != false { // hold
+		t.Fatal("enabled cut: hold path wrong")
+	}
+	in[idx["e"]] = true
+	out, _ = s.Step(in, sim.State{})
+	if out[1] != true { // load d
+		t.Fatal("enabled cut: load path wrong")
+	}
+}
+
+func TestExposeErrors(t *testing.T) {
+	c := netlist.New("e")
+	a := c.AddInput("a")
+	g := c.AddGate("g", netlist.OpNot, a)
+	c.AddOutput("o", g)
+	if _, err := Expose(c, []int{g}); err == nil {
+		t.Fatal("exposed a non-latch")
+	}
+	l := c.AddLatch("", a)
+	if _, err := Expose(c, []int{l}); err == nil {
+		t.Fatal("exposed an unnamed latch")
+	}
+}
+
+func TestBreakFeedbackProtected(t *testing.T) {
+	c := fsmCircuit()
+	// Protect s0: only s1 (or others) may be exposed.
+	prot := map[int]bool{c.MustLookup("s0"): true}
+	_, exposed, err := BreakFeedback(c, prot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range exposed {
+		if c.Nodes[id].Name == "s0" {
+			t.Fatal("protected latch exposed despite alternative")
+		}
+	}
+}

@@ -1,0 +1,221 @@
+// Package mcmf implements min-cost max-flow with successive shortest
+// paths (SPFA-based, so negative edge costs are allowed as long as no
+// negative cycle exists). It is the LP engine behind exact minimum-area
+// retiming: the Leiserson-Saxe minimum-register LP is the dual of an
+// uncapacitated transshipment problem, which Minaret — the tool the
+// paper used — solves exactly this way.
+package mcmf
+
+import "fmt"
+
+// Graph is a flow network under construction. Nodes are dense ints.
+type Graph struct {
+	n     int
+	head  []int32 // per arc: target node
+	next  []int32 // per arc: next arc out of the same node
+	first []int32 // per node: first arc
+	cap   []int64
+	cost  []int64
+}
+
+// New returns an empty network with n nodes.
+func New(n int) *Graph {
+	g := &Graph{n: n, first: make([]int32, n)}
+	for i := range g.first {
+		g.first[i] = -1
+	}
+	return g
+}
+
+// Inf is a practically unbounded capacity.
+const Inf int64 = 1 << 50
+
+// AddNode appends a node and returns its index.
+func (g *Graph) AddNode() int {
+	g.first = append(g.first, -1)
+	g.n++
+	return g.n - 1
+}
+
+// NumNodes returns the node count.
+func (g *Graph) NumNodes() int { return g.n }
+
+// AddArc adds a directed arc u->v with the given capacity and unit cost,
+// plus its residual reverse arc. It returns the arc index (even; the
+// reverse is index+1).
+func (g *Graph) AddArc(u, v int, capacity, cost int64) int {
+	if u < 0 || u >= g.n || v < 0 || v >= g.n {
+		panic(fmt.Sprintf("mcmf: arc (%d,%d) out of range n=%d", u, v, g.n))
+	}
+	id := len(g.head)
+	g.head = append(g.head, int32(v), int32(u))
+	g.cap = append(g.cap, capacity, 0)
+	g.cost = append(g.cost, cost, -cost)
+	g.next = append(g.next, g.first[u], g.first[v])
+	g.first[u] = int32(id)
+	g.first[v] = int32(id + 1)
+	return id
+}
+
+// Flow returns the flow currently on arc id (forward arcs only).
+func (g *Graph) Flow(id int) int64 { return g.cap[id^1] }
+
+// Result carries the outcome of a run.
+type Result struct {
+	Flow int64
+	Cost int64
+	// Dist is the node distance vector of the FINAL shortest-path pass
+	// over the residual network (entries for unreachable nodes are
+	// MaxInt64). For LP-dual recovery: with all supplies routed, these
+	// distances are optimal node potentials.
+	Dist []int64
+}
+
+const unreached = int64(1) << 62
+
+// Run pushes as much flow as possible from s to t at minimum cost.
+// It returns an error if a negative cycle is detected.
+func (g *Graph) Run(s, t int) (*Result, error) {
+	res := &Result{}
+	dist := make([]int64, g.n)
+	inQueue := make([]bool, g.n)
+	prevArc := make([]int32, g.n)
+	visits := make([]int32, g.n)
+
+	for {
+		// SPFA shortest path s->t over positive-residual arcs.
+		for i := range dist {
+			dist[i] = unreached
+			prevArc[i] = -1
+			visits[i] = 0
+			inQueue[i] = false
+		}
+		dist[s] = 0
+		queue := []int32{int32(s)}
+		inQueue[s] = true
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			inQueue[u] = false
+			for a := g.first[u]; a != -1; a = g.next[a] {
+				if g.cap[a] <= 0 {
+					continue
+				}
+				v := g.head[a]
+				nd := dist[u] + g.cost[a]
+				if nd < dist[v] {
+					dist[v] = nd
+					prevArc[v] = a
+					if !inQueue[v] {
+						visits[v]++
+						if visits[v] > int32(g.n)+1 {
+							return nil, fmt.Errorf("mcmf: negative cycle detected")
+						}
+						inQueue[v] = true
+						queue = append(queue, v)
+					}
+				}
+			}
+		}
+		res.Dist = append(res.Dist[:0], dist...)
+		if dist[t] >= unreached {
+			return res, nil // no augmenting path left
+		}
+		// Find bottleneck and augment.
+		push := Inf
+		for v := int32(t); v != int32(s); {
+			a := prevArc[v]
+			if g.cap[a] < push {
+				push = g.cap[a]
+			}
+			v = g.head[a^1]
+		}
+		for v := int32(t); v != int32(s); {
+			a := prevArc[v]
+			g.cap[a] -= push
+			g.cap[a^1] += push
+			v = g.head[a^1]
+		}
+		res.Flow += push
+		res.Cost += push * dist[t]
+	}
+}
+
+// SolveDifferenceLP minimizes sum(c[x] * r[x]) subject to difference
+// constraints r[a] - r[b] <= bound for each constraint, by solving the
+// dual transshipment with min-cost flow and recovering r from the final
+// residual shortest-path distances. The objective coefficients must sum
+// to zero (the LP is translation invariant); r is normalized so that
+// r[0] == 0. It returns nil when the LP is infeasible or unbounded.
+type Constraint struct {
+	A, B  int
+	Bound int64
+}
+
+// SolveDifferenceLP solves the LP described above.
+func SolveDifferenceLP(nvars int, c []int64, cons []Constraint) []int64 {
+	var sum int64
+	for _, ci := range c {
+		sum += ci
+	}
+	if sum != 0 {
+		panic("mcmf: objective coefficients must sum to zero")
+	}
+	// Dual: node x needs net inflow c[x]; constraint (a,b,bound) is an
+	// uncapacitated arc a->b with cost bound.
+	g := New(nvars)
+	arcOf := make([]int, len(cons))
+	for i, cn := range cons {
+		arcOf[i] = g.AddArc(cn.A, cn.B, Inf, cn.Bound)
+	}
+	s := g.AddNode()
+	t := g.AddNode()
+	var demand int64
+	for x := 0; x < nvars; x++ {
+		switch {
+		case c[x] > 0:
+			g.AddArc(x, t, c[x], 0)
+			demand += c[x]
+		case c[x] < 0:
+			g.AddArc(s, x, -c[x], 0)
+		}
+	}
+	res, err := g.Run(s, t)
+	if err != nil {
+		return nil // negative cycle: primal infeasible
+	}
+	if res.Flow != demand {
+		return nil // dual infeasible: primal unbounded
+	}
+	// Recover r = -dist over the final residual network. The final SPFA
+	// pass ran from s, which may no longer reach every node; rerun one
+	// Bellman-Ford-style pass from a virtual source connected to all
+	// nodes at distance 0 (valid: no negative cycles at optimality).
+	dist := make([]int64, nvars)
+	for iter := 0; ; iter++ {
+		changed := false
+		for u := 0; u < nvars; u++ {
+			for a := g.first[u]; a != -1; a = g.next[a] {
+				v := int(g.head[a])
+				if v >= nvars || g.cap[a] <= 0 {
+					continue
+				}
+				if nd := dist[u] + g.cost[a]; nd < dist[v] {
+					dist[v] = nd
+					changed = true
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+		if iter > nvars+len(cons)+2 {
+			return nil // residual negative cycle: should not happen
+		}
+	}
+	r := make([]int64, nvars)
+	for x := range r {
+		r[x] = dist[0] - dist[x]
+	}
+	return r
+}

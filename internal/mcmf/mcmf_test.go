@@ -1,0 +1,223 @@
+package mcmf
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestSimpleMaxFlow(t *testing.T) {
+	// s -> a -> t with capacity 3, plus s -> b -> t with capacity 2.
+	g := New(4)
+	const s, a, b, tt = 0, 1, 2, 3
+	g.AddArc(s, a, 3, 1)
+	g.AddArc(a, tt, 3, 1)
+	g.AddArc(s, b, 2, 5)
+	g.AddArc(b, tt, 2, 5)
+	res, err := g.Run(s, tt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Flow != 5 {
+		t.Fatalf("flow = %d, want 5", res.Flow)
+	}
+	if res.Cost != 3*2+2*10 {
+		t.Fatalf("cost = %d, want 26", res.Cost)
+	}
+}
+
+func TestPrefersCheapPath(t *testing.T) {
+	// Two unit-capacity paths; flow of 1 must take the cheap one.
+	g := New(4)
+	g.AddArc(0, 1, 1, 1)
+	g.AddArc(1, 3, 1, 1)
+	g.AddArc(0, 2, 1, 100)
+	g.AddArc(2, 3, 1, 100)
+	res, err := g.Run(0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Flow != 2 || res.Cost != 2+200 {
+		t.Fatalf("flow=%d cost=%d", res.Flow, res.Cost)
+	}
+}
+
+func TestNegativeCostArcs(t *testing.T) {
+	// A negative arc on the cheap path; SPFA must handle it.
+	g := New(3)
+	g.AddArc(0, 1, 2, -5)
+	g.AddArc(1, 2, 2, 3)
+	res, err := g.Run(0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Flow != 2 || res.Cost != 2*(-2) {
+		t.Fatalf("flow=%d cost=%d", res.Flow, res.Cost)
+	}
+}
+
+func TestFlowRerouting(t *testing.T) {
+	// Classic case where a later augmentation must push flow back
+	// through a residual arc.
+	g := New(4)
+	// s=0, t=3
+	g.AddArc(0, 1, 1, 1)
+	g.AddArc(0, 2, 1, 4)
+	g.AddArc(1, 2, 1, 1)
+	g.AddArc(1, 3, 1, 5)
+	g.AddArc(2, 3, 1, 1)
+	res, err := g.Run(0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Flow != 2 {
+		t.Fatalf("flow = %d", res.Flow)
+	}
+	// Optimal: s->1->2->3 (3) + s->2? cap... paths: s-1-3 (6), s-2-3 (5),
+	// s-1-2-3 (3). Max flow 2 via s-1-2-3 and s-2-3 is blocked (2->3
+	// saturated), so s-1-3: total = 3 + ... enumerate: best 2-flow cost:
+	// f(s12 3)=3 with s-2-3 impossible => s-1-3: but 0->1 cap 1. So
+	// s-1-2-3 + s-2-3 conflict on 2->3. Alternatives: {s-1-3, s-2-3} =
+	// 6+5 = 11; {s-1-2-3, s-2-?} none. So 11.
+	if res.Cost != 11 {
+		t.Fatalf("cost = %d, want 11", res.Cost)
+	}
+}
+
+// bruteForceLP minimizes c·r over r in [-bound, bound]^n subject to the
+// difference constraints, by enumeration.
+func bruteForceLP(n int, c []int64, cons []Constraint, bound int64) (int64, bool) {
+	r := make([]int64, n)
+	best := int64(1) << 60
+	found := false
+	var rec func(i int)
+	rec = func(i int) {
+		if i == n {
+			for _, cn := range cons {
+				if r[cn.A]-r[cn.B] > cn.Bound {
+					return
+				}
+			}
+			var obj int64
+			for x := 0; x < n; x++ {
+				obj += c[x] * r[x]
+			}
+			if obj < best {
+				best = obj
+				found = true
+			}
+			return
+		}
+		for v := -bound; v <= bound; v++ {
+			r[i] = v
+			rec(i + 1)
+		}
+	}
+	rec(0)
+	return best, found
+}
+
+func TestSolveDifferenceLPSmall(t *testing.T) {
+	// min r1 - r2 s.t. r1 - r0 <= 2, r0 - r1 <= 0, r2 - r1 <= 1.
+	c := []int64{0, 1, -1}
+	cons := []Constraint{{1, 0, 2}, {0, 1, 0}, {2, 1, 1}}
+	r := SolveDifferenceLP(3, c, cons)
+	if r == nil {
+		t.Fatal("no solution")
+	}
+	if r[0] != 0 {
+		t.Fatalf("normalization broken: r = %v", r)
+	}
+	var obj int64 = r[1] - r[2]
+	want, _ := bruteForceLP(3, c, cons, 3)
+	if obj != want {
+		t.Fatalf("objective %d, brute force %d (r=%v)", obj, want, r)
+	}
+	for _, cn := range cons {
+		if r[cn.A]-r[cn.B] > cn.Bound {
+			t.Fatalf("constraint violated: %v with r=%v", cn, r)
+		}
+	}
+}
+
+func TestSolveDifferenceLPRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(211))
+	for trial := 0; trial < 60; trial++ {
+		n := 3 + rng.Intn(3)
+		// Zero-sum objective.
+		c := make([]int64, n)
+		for i := 0; i+1 < n; i += 2 {
+			v := int64(rng.Intn(3) + 1)
+			c[i], c[i+1] = v, -v
+		}
+		var cons []Constraint
+		// Always bound every variable against 0 both ways so the LP is
+		// bounded.
+		for x := 1; x < n; x++ {
+			cons = append(cons, Constraint{x, 0, int64(rng.Intn(3))})
+			cons = append(cons, Constraint{0, x, int64(rng.Intn(3))})
+		}
+		for k := 0; k < n; k++ {
+			a, b := rng.Intn(n), rng.Intn(n)
+			if a != b {
+				cons = append(cons, Constraint{a, b, int64(rng.Intn(4) - 1)})
+			}
+		}
+		want, feasible := bruteForceLP(n, c, cons, 4)
+		r := SolveDifferenceLP(n, c, cons)
+		if !feasible {
+			if r != nil {
+				// Check: maybe feasible outside the brute-force box; then
+				// the solver solution must at least satisfy constraints.
+				for _, cn := range cons {
+					if r[cn.A]-r[cn.B] > cn.Bound {
+						t.Fatalf("trial %d: infeasible point returned", trial)
+					}
+				}
+			}
+			continue
+		}
+		if r == nil {
+			t.Fatalf("trial %d: solver found no solution but LP is feasible", trial)
+		}
+		var obj int64
+		for x := 0; x < n; x++ {
+			obj += c[x] * r[x]
+		}
+		for _, cn := range cons {
+			if r[cn.A]-r[cn.B] > cn.Bound {
+				t.Fatalf("trial %d: constraint %v violated (r=%v)", trial, cn, r)
+			}
+		}
+		if obj != want {
+			t.Fatalf("trial %d: objective %d != brute force %d (r=%v, c=%v, cons=%v)",
+				trial, obj, want, r, c, cons)
+		}
+	}
+}
+
+func TestSolveDifferenceLPInfeasible(t *testing.T) {
+	// r0 - r1 <= -1 and r1 - r0 <= -1: negative cycle.
+	c := []int64{1, -1}
+	cons := []Constraint{{0, 1, -1}, {1, 0, -1}}
+	if r := SolveDifferenceLP(2, c, cons); r != nil {
+		t.Fatalf("expected nil for infeasible LP, got %v", r)
+	}
+}
+
+func TestSolveDifferenceLPUnbounded(t *testing.T) {
+	// min r0 - r1 with only r0 - r1 <= 0: the difference can go to -inf.
+	c := []int64{1, -1}
+	cons := []Constraint{{0, 1, 0}}
+	if r := SolveDifferenceLP(2, c, cons); r != nil {
+		t.Fatalf("expected nil for unbounded LP, got %v", r)
+	}
+}
+
+func TestObjectiveSumPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on non-zero-sum objective")
+		}
+	}()
+	SolveDifferenceLP(2, []int64{1, 0}, nil)
+}

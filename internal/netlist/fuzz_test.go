@@ -1,0 +1,29 @@
+package netlist
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseBLIF asserts the parser never panics and that anything it
+// accepts survives a write/re-parse round trip.
+func FuzzParseBLIF(f *testing.F) {
+	f.Add(toyBLIF)
+	f.Add(".model m\n.inputs a\n.outputs o\n.names a o\n1 1\n.end\n")
+	f.Add(".model m\n.inputs d e\n.outputs q\n.latch d q le e 3\n.end\n")
+	f.Add(".model m\n.outputs o\n.names o\n1\n.end\n")
+	f.Add(".model m\n.inputs a\n.outputs o\n.names a o\n0 0\n.end")
+	f.Fuzz(func(t *testing.T, src string) {
+		c, err := ParseBLIFString(src)
+		if err != nil {
+			return
+		}
+		var sb strings.Builder
+		if err := WriteBLIF(&sb, c); err != nil {
+			t.Fatalf("accepted circuit failed to write: %v", err)
+		}
+		if _, err := ParseBLIFString(sb.String()); err != nil {
+			t.Fatalf("round trip failed: %v\noriginal:\n%s\nwritten:\n%s", err, src, sb.String())
+		}
+	})
+}

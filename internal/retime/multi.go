@@ -1,0 +1,198 @@
+package retime
+
+import (
+	"fmt"
+	"sort"
+
+	"seqver/internal/netlist"
+)
+
+// Multi-class retiming via the Legl et al. reduction the paper cites
+// [9]: latches may merge only within their class cl = (enable), so each
+// pass freezes every class but one and runs single-class Leiserson-Saxe
+// on the movable class. Coordinate descent over classes converges to a
+// (locally) minimal period / latch count. This goes beyond the paper's
+// own experimental setup, which had no multi-class retiming tool at all
+// (Section 8) — it is the "future directions" capability made concrete.
+
+// classEnables returns the distinct enable nodes, regular class first,
+// then ascending.
+func classEnables(c *netlist.Circuit) []int {
+	seen := map[int]bool{}
+	var out []int
+	for _, id := range c.Latches {
+		e := c.Nodes[id].Enable
+		if !seen[e] {
+			seen[e] = true
+			out = append(out, e)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// enableByName resolves an enable node in a rebuilt circuit by the name
+// of the original enable signal (NoEnable passes through).
+func enableByName(orig, cur *netlist.Circuit, enable int) (int, error) {
+	if enable == netlist.NoEnable {
+		return netlist.NoEnable, nil
+	}
+	name := orig.Nodes[enable].Name
+	if name == "" {
+		return 0, fmt.Errorf("retime: class enable must be named for multi-class retiming")
+	}
+	id := cur.Lookup(name)
+	if id < 0 {
+		return 0, fmt.Errorf("retime: enable %q lost across passes", name)
+	}
+	return id, nil
+}
+
+// MinPeriodMulti retimes a circuit with any number of latch classes to a
+// locally minimal clock period: classes are retimed one at a time
+// (others frozen) until no pass improves the period. Every class enable
+// must be a named primary input or constant.
+func MinPeriodMulti(c *netlist.Circuit) (*Result, error) {
+	classes := classEnables(c)
+	if len(classes) <= 1 {
+		return MinPeriod(c)
+	}
+	for _, e := range classes {
+		if err := validateEnableSource(c, e); err != nil {
+			return nil, err
+		}
+	}
+	cur := c
+	curRes := &Result{Circuit: c, Latches: len(c.Latches)}
+	var err error
+	if curRes.Period, err = Period(c); err != nil {
+		return nil, err
+	}
+	totalMoves := 0
+	for pass := 0; pass < 4; pass++ {
+		improved := false
+		for _, origEnable := range classes {
+			enable, eerr := enableByName(c, cur, origEnable)
+			if eerr != nil {
+				return nil, eerr
+			}
+			res, rerr := minPeriodClass(cur, enable)
+			if rerr != nil {
+				return nil, rerr
+			}
+			if res.Period < curRes.Period ||
+				(res.Period == curRes.Period && res.Latches < curRes.Latches) {
+				cur = res.Circuit
+				curRes = res
+				totalMoves += res.Moves
+				improved = true
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+	curRes.Moves = totalMoves
+	return curRes, nil
+}
+
+// ConstrainedMinAreaMulti minimizes the latch count of a multi-class
+// circuit subject to a period bound, by per-class constrained min-area
+// passes until fixpoint.
+func ConstrainedMinAreaMulti(c *netlist.Circuit, period int) (*Result, error) {
+	classes := classEnables(c)
+	if len(classes) <= 1 {
+		return ConstrainedMinArea(c, period)
+	}
+	for _, e := range classes {
+		if err := validateEnableSource(c, e); err != nil {
+			return nil, err
+		}
+	}
+	if p, err := Period(c); err != nil {
+		return nil, err
+	} else if p > period {
+		// Try to reach the period first.
+		res, err := MinPeriodMulti(c)
+		if err != nil {
+			return nil, err
+		}
+		if res.Period > period {
+			return nil, fmt.Errorf("retime: period %d infeasible (best %d)", period, res.Period)
+		}
+		c = res.Circuit
+	}
+	cur := c
+	curLatches := len(c.Latches)
+	totalMoves := 0
+	for pass := 0; pass < 4; pass++ {
+		improved := false
+		for _, origEnable := range classes {
+			enable, eerr := enableByName(c, cur, origEnable)
+			if eerr != nil {
+				return nil, eerr
+			}
+			g, gerr := buildGraphClass(cur, enable)
+			if gerr != nil {
+				return nil, gerr
+			}
+			r := g.feas(period)
+			if r == nil {
+				continue // this class cannot help at the bound
+			}
+			r = g.minimizeArea(r, period)
+			res, rerr := g.rebuild(r, period)
+			if rerr != nil {
+				return nil, rerr
+			}
+			if res.Latches < curLatches {
+				cur = res.Circuit
+				curLatches = res.Latches
+				totalMoves += res.Moves
+				improved = true
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+	p, err := Period(cur)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Circuit: cur, Period: p, Latches: curLatches, Moves: totalMoves}, nil
+}
+
+// minPeriodClass runs single-class min-period retiming moving only the
+// given enable class.
+func minPeriodClass(c *netlist.Circuit, enable int) (*Result, error) {
+	g, err := buildGraphClass(c, enable)
+	if err != nil {
+		return nil, err
+	}
+	hi := g.clockPeriod(make([]int, len(g.gateOf)))
+	if hi < 0 {
+		return nil, fmt.Errorf("retime: combinational cycle")
+	}
+	if hi == 0 {
+		hi = 1
+	}
+	var best []int
+	bestC := hi
+	lo := 1
+	for lo <= hi {
+		mid := (lo + hi) / 2
+		if r := g.feas(mid); r != nil {
+			best, bestC = r, mid
+			hi = mid - 1
+		} else {
+			lo = mid + 1
+		}
+	}
+	if best == nil {
+		best = make([]int, len(g.gateOf))
+		bestC = g.clockPeriod(best)
+	}
+	best = g.minimizeArea(best, bestC)
+	return g.rebuild(best, bestC)
+}

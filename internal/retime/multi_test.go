@@ -1,0 +1,166 @@
+package retime
+
+import (
+	"math/rand"
+	"testing"
+
+	"seqver/internal/netlist"
+	"seqver/internal/sim"
+)
+
+// twoClassPipeline builds a two-class circuit: a regular-latch pipeline
+// badly balanced (all logic before the latches) interleaved with a bank
+// of enabled latches.
+func twoClassPipeline() *netlist.Circuit {
+	c := netlist.New("mc")
+	a := c.AddInput("a")
+	b := c.AddInput("b")
+	le := c.AddInput("le")
+	// Deep front stage.
+	g1 := c.AddGate("g1", netlist.OpXor, a, b)
+	g2 := c.AddGate("g2", netlist.OpNand, g1, a)
+	g3 := c.AddGate("g3", netlist.OpNot, g2)
+	g4 := c.AddGate("g4", netlist.OpOr, g3, b)
+	// Regular latch chain at the end of the deep stage.
+	l1 := c.AddLatch("l1", g4)
+	l2 := c.AddLatch("l2", l1)
+	// An enabled side channel: two enabled latches around shallow logic.
+	e1 := c.AddEnabledLatch("e1", a, le)
+	e2 := c.AddEnabledLatch("e2", b, le)
+	h := c.AddGate("h", netlist.OpAnd, e1, e2)
+	o := c.AddGate("o", netlist.OpXor, l2, h)
+	c.AddOutput("o", o)
+	return c
+}
+
+func TestMinPeriodMultiImproves(t *testing.T) {
+	c := twoClassPipeline()
+	p0, err := Period(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := MinPeriodMulti(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Period >= p0 {
+		t.Fatalf("multi-class retiming did not improve: %d -> %d", p0, res.Period)
+	}
+	// Classes preserved: the result still has both regular and enabled
+	// latches wired to the original enable.
+	hasRegular, hasEnabled := false, false
+	for _, id := range res.Circuit.Latches {
+		n := res.Circuit.Nodes[id]
+		if n.Enable == netlist.NoEnable {
+			hasRegular = true
+		} else if res.Circuit.Nodes[n.Enable].Name == "le" {
+			hasEnabled = true
+		} else {
+			t.Fatalf("latch %s has foreign enable", n.Name)
+		}
+	}
+	if !hasRegular || !hasEnabled {
+		t.Fatalf("class structure lost: regular=%v enabled=%v", hasRegular, hasEnabled)
+	}
+	rng := rand.New(rand.NewSource(271))
+	eq, witness := sim.HistoryEquivalent(c, res.Circuit, 20, 10, rng)
+	if !eq {
+		t.Fatalf("multi-class retiming broke behaviour; witness %v", witness)
+	}
+}
+
+func TestMinPeriodMultiSingleClassDelegates(t *testing.T) {
+	c := chain4()
+	res, err := MinPeriodMulti(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Period != 2 {
+		t.Fatalf("period = %d", res.Period)
+	}
+}
+
+func TestConstrainedMinAreaMulti(t *testing.T) {
+	c := twoClassPipeline()
+	p0, err := Period(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ConstrainedMinAreaMulti(c, p0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Latches > len(c.Latches) {
+		t.Fatalf("area grew: %d -> %d", len(c.Latches), res.Latches)
+	}
+	if res.Period > p0 {
+		t.Fatalf("period bound violated: %d > %d", res.Period, p0)
+	}
+	rng := rand.New(rand.NewSource(277))
+	eq, _ := sim.HistoryEquivalent(c, res.Circuit, 15, 10, rng)
+	if !eq {
+		t.Fatal("min-area multi broke behaviour")
+	}
+}
+
+func TestConstrainedMinAreaMultiInfeasible(t *testing.T) {
+	if _, err := ConstrainedMinAreaMulti(twoClassPipeline(), 1); err == nil {
+		t.Fatal("expected infeasibility")
+	}
+}
+
+func TestMultiRandomClasses(t *testing.T) {
+	rng := rand.New(rand.NewSource(281))
+	for trial := 0; trial < 15; trial++ {
+		c := randomMultiClass(rng)
+		res, err := MinPeriodMulti(c)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		p0, _ := Period(c)
+		if res.Period > p0 {
+			t.Fatalf("trial %d: period worsened %d -> %d", trial, p0, res.Period)
+		}
+		eq, witness := sim.HistoryEquivalent(c, res.Circuit, 10, 8, rng)
+		if !eq {
+			t.Fatalf("trial %d: behaviour broken; witness %v\nbefore:\n%s\nafter:\n%s",
+				trial, witness, c, res.Circuit)
+		}
+	}
+}
+
+// randomMultiClass builds a random acyclic circuit mixing regular latches
+// and two enabled classes (enables are PIs).
+func randomMultiClass(rng *rand.Rand) *netlist.Circuit {
+	c := netlist.New("rmc")
+	var pool []int
+	for i := 0; i < 3; i++ {
+		pool = append(pool, c.AddInput(string(rune('a'+i))))
+	}
+	le1 := c.AddInput("le1")
+	le2 := c.AddInput("le2")
+	enables := []int{netlist.NoEnable, le1, le2}
+	ops := []netlist.Op{netlist.OpAnd, netlist.OpOr, netlist.OpXor, netlist.OpNand, netlist.OpNot}
+	nStages := 2 + rng.Intn(2)
+	li := 0
+	for s := 0; s < nStages; s++ {
+		for g := 0; g < 3+rng.Intn(4); g++ {
+			op := ops[rng.Intn(len(ops))]
+			var id int
+			if op == netlist.OpNot {
+				id = c.AddGate("", op, pool[rng.Intn(len(pool))])
+			} else {
+				id = c.AddGate("", op, pool[rng.Intn(len(pool))], pool[rng.Intn(len(pool))])
+			}
+			pool = append(pool, id)
+		}
+		for l := 0; l < 1+rng.Intn(2); l++ {
+			en := enables[rng.Intn(len(enables))]
+			id := c.AddEnabledLatch("L"+string(rune('0'+li)), pool[len(pool)-1-rng.Intn(3)], en)
+			li++
+			pool = append(pool, id)
+		}
+	}
+	c.AddOutput("o", pool[len(pool)-1])
+	return c
+}

@@ -1,0 +1,316 @@
+package retime
+
+import (
+	"math/rand"
+	"testing"
+
+	"seqver/internal/cbf"
+	"seqver/internal/netlist"
+	"seqver/internal/sim"
+)
+
+// chain4 builds a 4-gate inverter chain with two latches at the end:
+// initial period 4, optimal period 2 after distributing the latches.
+func chain4() *netlist.Circuit {
+	c := netlist.New("chain4")
+	a := c.AddInput("a")
+	g1 := c.AddGate("g1", netlist.OpNot, a)
+	g2 := c.AddGate("g2", netlist.OpNot, g1)
+	g3 := c.AddGate("g3", netlist.OpNot, g2)
+	g4 := c.AddGate("g4", netlist.OpNot, g3)
+	l1 := c.AddLatch("l1", g4)
+	l2 := c.AddLatch("l2", l1)
+	c.AddOutput("o", l2)
+	return c
+}
+
+func TestPeriodOfChain(t *testing.T) {
+	p, err := Period(chain4())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p != 4 {
+		t.Fatalf("period = %d, want 4", p)
+	}
+}
+
+func TestMinPeriodChain(t *testing.T) {
+	res, err := MinPeriod(chain4())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Period != 2 {
+		t.Fatalf("min period = %d, want 2", res.Period)
+	}
+	got, err := Period(res.Circuit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got > 2 {
+		t.Fatalf("rebuilt circuit period = %d", got)
+	}
+	if res.Moves == 0 {
+		t.Fatal("no moves recorded")
+	}
+}
+
+func TestMinPeriodPreservesCBF(t *testing.T) {
+	orig := chain4()
+	res, err := MinPeriod(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u1, err := cbf.Unroll(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u2, err := cbf.Unroll(res.Circuit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same single input at same depth, same function.
+	if u1.InputNames()[0] != u2.InputNames()[0] {
+		t.Fatalf("CBF supports differ: %v vs %v", u1.InputNames(), u2.InputNames())
+	}
+	s1, s2 := sim.New(u1), sim.New(u2)
+	for _, v := range []bool{false, true} {
+		o1, _ := s1.Step([]bool{v}, sim.State{})
+		o2, _ := s2.Step([]bool{v}, sim.State{})
+		if o1[0] != o2[0] {
+			t.Fatalf("CBF functions differ at %v", v)
+		}
+	}
+}
+
+// loop3 builds a cyclic circuit: 3 gates and 2 latches on a loop, XORed
+// with an input. Minimum period is 2 (3 units of delay over 2 latches).
+func loop3() *netlist.Circuit {
+	c := netlist.New("loop3")
+	a := c.AddInput("a")
+	l1 := c.AddLatch("l1", 0)
+	l2 := c.AddLatch("l2", l1)
+	g1 := c.AddGate("g1", netlist.OpXor, l2, a)
+	g2 := c.AddGate("g2", netlist.OpNot, g1)
+	g3 := c.AddGate("g3", netlist.OpNot, g2)
+	c.SetLatchData(l1, g3)
+	c.AddOutput("o", g1)
+	return c
+}
+
+func TestMinPeriodLoop(t *testing.T) {
+	res, err := MinPeriod(loop3())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Period != 2 {
+		t.Fatalf("loop min period = %d, want 2", res.Period)
+	}
+}
+
+func TestRetimedLoopSequentiallyEquivalent(t *testing.T) {
+	orig := loop3()
+	res, err := MinPeriod(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(79))
+	eq, witness := sim.HistoryEquivalent(orig, res.Circuit, 20, 10, rng)
+	if !eq {
+		t.Fatalf("retimed loop not exact-3-valued equivalent; witness %v", witness)
+	}
+}
+
+func TestConstrainedMinAreaReducesLatches(t *testing.T) {
+	// At a relaxed period the two end latches can merge into fewer
+	// positions than the min-period solution needs.
+	c := chain4()
+	minp, err := MinPeriod(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	relaxed, err := ConstrainedMinArea(c, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if relaxed.Latches > minp.Latches {
+		t.Fatalf("relaxed area %d > min-period area %d", relaxed.Latches, minp.Latches)
+	}
+	if p, _ := Period(relaxed.Circuit); p > 4 {
+		t.Fatalf("relaxed period %d exceeds bound", p)
+	}
+	// The original had 2 latches; the relaxed solution should not need
+	// more.
+	if relaxed.Latches > 2 {
+		t.Fatalf("relaxed latches = %d", relaxed.Latches)
+	}
+}
+
+func TestConstrainedMinAreaInfeasible(t *testing.T) {
+	// Period 1 is infeasible for a loop with 3 gates and 2 latches.
+	if _, err := ConstrainedMinArea(loop3(), 1); err == nil {
+		t.Fatal("expected infeasibility error")
+	}
+}
+
+func TestFanoutSharing(t *testing.T) {
+	// One driver fans out to two consumers, both behind one latch: the
+	// rebuilt circuit shares a single latch chain.
+	c := netlist.New("share")
+	a := c.AddInput("a")
+	g := c.AddGate("g", netlist.OpNot, a)
+	l1 := c.AddLatch("l1", g)
+	l2 := c.AddLatch("l2", g)
+	o1 := c.AddGate("o1", netlist.OpBuf, l1)
+	o2 := c.AddGate("o2", netlist.OpBuf, l2)
+	c.AddOutput("x", o1)
+	c.AddOutput("y", o2)
+	res, err := ConstrainedMinArea(c, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Latches != 1 {
+		t.Fatalf("latches = %d, want 1 (shared chain)", res.Latches)
+	}
+}
+
+// fig16 reproduces Figure 16: forward retiming of a load-enabled latch
+// across a gate (single enable class, enable is a primary input).
+func fig16() *netlist.Circuit {
+	c := netlist.New("fig16")
+	a := c.AddInput("a")
+	b := c.AddInput("b")
+	e := c.AddInput("e")
+	la := c.AddEnabledLatch("la", a, e)
+	lb := c.AddEnabledLatch("lb", b, e)
+	g := c.AddGate("g", netlist.OpAnd, la, lb)
+	g2 := c.AddGate("g2", netlist.OpNot, g)
+	c.AddOutput("o", g2)
+	return c
+}
+
+func TestRetimeEnabledSingleClass(t *testing.T) {
+	c := fig16()
+	res, err := ConstrainedMinArea(c, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Forward move merges the two input latches into one after g: area 1.
+	if res.Latches != 1 {
+		t.Fatalf("latches = %d, want 1 after forward move", res.Latches)
+	}
+	// The rebuilt latch keeps the enable class.
+	lid := res.Circuit.Latches[0]
+	en := res.Circuit.Nodes[lid].Enable
+	if en == netlist.NoEnable || res.Circuit.Nodes[en].Name != "e" {
+		t.Fatal("enable class lost during retiming")
+	}
+	// Behaviour check via simulation from matching power-up states:
+	// outputs agree once the enable has fired (flushing power-up).
+	rng := rand.New(rand.NewSource(83))
+	eq, witness := sim.HistoryEquivalent(c, res.Circuit, 20, 8, rng)
+	if !eq {
+		t.Fatalf("enabled retime broke equivalence; witness %v", witness)
+	}
+}
+
+func TestMultiClassRejected(t *testing.T) {
+	c := netlist.New("mc")
+	a := c.AddInput("a")
+	e1 := c.AddInput("e1")
+	e2 := c.AddInput("e2")
+	l1 := c.AddEnabledLatch("l1", a, e1)
+	l2 := c.AddEnabledLatch("l2", l1, e2)
+	c.AddOutput("o", l2)
+	if _, err := MinPeriod(c); err == nil {
+		t.Fatal("multi-class circuit accepted")
+	}
+}
+
+func TestGateEnableRejected(t *testing.T) {
+	c := netlist.New("ge")
+	a := c.AddInput("a")
+	b := c.AddInput("b")
+	e := c.AddGate("e", netlist.OpAnd, a, b)
+	l := c.AddEnabledLatch("l", a, e)
+	c.AddOutput("o", l)
+	if _, err := MinPeriod(c); err == nil {
+		t.Fatal("gate-driven enable accepted")
+	}
+}
+
+func TestMinPossiblePeriod(t *testing.T) {
+	p, err := MinPossiblePeriod(chain4())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p != 2 {
+		t.Fatalf("min possible period = %d", p)
+	}
+}
+
+func TestRandomRetimePreservesBehaviour(t *testing.T) {
+	rng := rand.New(rand.NewSource(89))
+	for trial := 0; trial < 25; trial++ {
+		c := randomSequential(rng)
+		res, err := MinPeriod(c)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if res.Period > mustPeriod(t, c) {
+			t.Fatalf("trial %d: retiming worsened period", trial)
+		}
+		eq, witness := sim.HistoryEquivalent(c, res.Circuit, 10, 8, rng)
+		if !eq {
+			t.Fatalf("trial %d: retimed circuit inequivalent; witness %v\noriginal:\n%s\nretimed:\n%s",
+				trial, witness, c, res.Circuit)
+		}
+	}
+}
+
+func mustPeriod(t *testing.T, c *netlist.Circuit) int {
+	t.Helper()
+	p, err := Period(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// randomSequential builds a small random sequential circuit (possibly
+// cyclic) with regular latches.
+func randomSequential(rng *rand.Rand) *netlist.Circuit {
+	c := netlist.New("rnd")
+	var pool []int
+	for i := 0; i < 3; i++ {
+		pool = append(pool, c.AddInput(string(rune('a'+i))))
+	}
+	// Pre-create a few latches with placeholder data.
+	nl := 1 + rng.Intn(3)
+	var latches []int
+	for i := 0; i < nl; i++ {
+		l := c.AddLatch("L"+string(rune('0'+i)), 0)
+		latches = append(latches, l)
+		pool = append(pool, l)
+	}
+	ops := []netlist.Op{netlist.OpAnd, netlist.OpOr, netlist.OpXor, netlist.OpNand, netlist.OpNot}
+	for g := 0; g < 6+rng.Intn(6); g++ {
+		op := ops[rng.Intn(len(ops))]
+		var id int
+		if op == netlist.OpNot {
+			id = c.AddGate("", op, pool[rng.Intn(len(pool))])
+		} else {
+			id = c.AddGate("", op, pool[rng.Intn(len(pool))], pool[rng.Intn(len(pool))])
+		}
+		pool = append(pool, id)
+	}
+	for _, l := range latches {
+		c.SetLatchData(l, pool[len(pool)-1-rng.Intn(3)])
+	}
+	c.AddOutput("o", pool[len(pool)-1])
+	if err := c.Check(); err != nil {
+		// Combinational cycle cannot happen (gates only reference
+		// earlier pool entries), so any failure is a bug.
+		panic(err)
+	}
+	return c
+}

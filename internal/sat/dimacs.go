@@ -1,0 +1,126 @@
+package sat
+
+// DIMACS CNF reader/writer, so the solver interoperates with the
+// standard SAT ecosystem (instances, fuzzers, proof-of-concept scripts).
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ParseDIMACS loads a CNF formula into a fresh solver. DIMACS variables
+// 1..n map to solver variables 0..n-1.
+func ParseDIMACS(r io.Reader) (*Solver, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
+	var s *Solver
+	declared := -1
+	var clause []Lit
+	nClauses := 0
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "c") {
+			continue
+		}
+		if strings.HasPrefix(line, "p") {
+			f := strings.Fields(line)
+			if len(f) != 4 || f[1] != "cnf" {
+				return nil, fmt.Errorf("dimacs: bad problem line %q", line)
+			}
+			nv, err := strconv.Atoi(f[2])
+			if err != nil || nv < 0 || nv > 1<<24 {
+				return nil, fmt.Errorf("dimacs: bad variable count %q", f[2])
+			}
+			declared = nv
+			s = New(nv)
+			continue
+		}
+		if s == nil {
+			return nil, fmt.Errorf("dimacs: clause before problem line")
+		}
+		for _, tok := range strings.Fields(line) {
+			v, err := strconv.Atoi(tok)
+			if err != nil {
+				return nil, fmt.Errorf("dimacs: bad literal %q", tok)
+			}
+			if v == 0 {
+				s.AddClause(clause...)
+				clause = clause[:0]
+				nClauses++
+				continue
+			}
+			av := v
+			if av < 0 {
+				av = -av
+			}
+			if av > declared {
+				return nil, fmt.Errorf("dimacs: literal %d exceeds declared %d variables", v, declared)
+			}
+			clause = append(clause, MkLit(av-1, v < 0))
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if s == nil {
+		return nil, fmt.Errorf("dimacs: missing problem line")
+	}
+	if len(clause) > 0 {
+		s.AddClause(clause...) // tolerate a missing trailing 0
+	}
+	return s, nil
+}
+
+// WriteDIMACS emits clauses in DIMACS format. Only original (non-learned)
+// clauses are written; top-level units from the trail are included.
+func WriteDIMACS(w io.Writer, s *Solver) error {
+	bw := bufio.NewWriter(w)
+	if s.unsatisf {
+		// A top-level contradiction found during loading or solving has
+		// no clause representation left in the database; emit an
+		// explicitly contradictory formula so the verdict round-trips.
+		fmt.Fprintf(bw, "p cnf %d 2\n1 0\n-1 0\n", maxInt(1, s.NumVars()))
+		return bw.Flush()
+	}
+	var lines []string
+	for _, c := range s.clauses {
+		if c.learned {
+			continue
+		}
+		var sb strings.Builder
+		for _, l := range c.lits {
+			fmt.Fprintf(&sb, "%d ", dimacsLit(l))
+		}
+		sb.WriteString("0")
+		lines = append(lines, sb.String())
+	}
+	// Top-level assignments become unit clauses.
+	for _, l := range s.trail {
+		if s.level[l.Var()] == 0 {
+			lines = append(lines, fmt.Sprintf("%d 0", dimacsLit(l)))
+		}
+	}
+	fmt.Fprintf(bw, "p cnf %d %d\n", s.NumVars(), len(lines))
+	for _, ln := range lines {
+		fmt.Fprintln(bw, ln)
+	}
+	return bw.Flush()
+}
+
+func dimacsLit(l Lit) int {
+	v := l.Var() + 1
+	if l.Neg() {
+		return -v
+	}
+	return v
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

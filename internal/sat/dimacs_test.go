@@ -1,0 +1,107 @@
+package sat
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestParseDIMACSBasic(t *testing.T) {
+	src := `c a comment
+p cnf 3 3
+1 -2 0
+2 3 0
+-1 0
+`
+	s, err := ParseDIMACS(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, model := s.SolveModel()
+	if st != Sat {
+		t.Fatalf("status %v", st)
+	}
+	// -1 forces x1 false; 1 -2 then forces x2 false; 2 3 forces x3.
+	if model[0] || model[1] || !model[2] {
+		t.Fatalf("model = %v", model)
+	}
+}
+
+func TestParseDIMACSUnsat(t *testing.T) {
+	src := "p cnf 1 2\n1 0\n-1 0\n"
+	s, err := ParseDIMACS(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Solve() != Unsat {
+		t.Fatal("expected UNSAT")
+	}
+}
+
+func TestParseDIMACSErrors(t *testing.T) {
+	bad := []string{
+		"1 2 0\n",          // clause before header
+		"p cnf x 3\n",      // bad var count
+		"p sat 3 3\n",      // wrong format tag
+		"p cnf 2 1\n3 0\n", // literal out of range
+		"",                 // empty
+	}
+	for i, src := range bad {
+		if _, err := ParseDIMACS(strings.NewReader(src)); err == nil {
+			t.Errorf("case %d accepted: %q", i, src)
+		}
+	}
+}
+
+func TestDIMACSRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(269))
+	for trial := 0; trial < 40; trial++ {
+		nv := 6
+		ncl := 15 + rng.Intn(15)
+		s1 := New(nv)
+		var clauses [][]Lit
+		broken := false
+		for i := 0; i < ncl; i++ {
+			cl := make([]Lit, 3)
+			for j := range cl {
+				cl[j] = MkLit(rng.Intn(nv), rng.Intn(2) == 0)
+			}
+			clauses = append(clauses, cl)
+			if !s1.AddClause(cl...) {
+				broken = true
+				break
+			}
+		}
+		if broken {
+			continue
+		}
+		var sb strings.Builder
+		if err := WriteDIMACS(&sb, s1); err != nil {
+			t.Fatal(err)
+		}
+		s2, err := ParseDIMACS(strings.NewReader(sb.String()))
+		if err != nil {
+			t.Fatalf("trial %d: %v\n%s", trial, err, sb.String())
+		}
+		// Solve twice: the verdict must be stable across calls.
+		first := s2.Solve()
+		want := Sat
+		if !bruteForce3SAT(nv, clauses) {
+			want = Unsat
+		}
+		if got := s2.Solve(); got != want || first != want {
+			t.Fatalf("trial %d: round-trip solve %v then %v, want %v\n%s", trial, first, got, want, sb.String())
+		}
+	}
+}
+
+func TestMissingTrailingZeroTolerated(t *testing.T) {
+	src := "p cnf 2 1\n1 2"
+	s, err := ParseDIMACS(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Solve() != Sat {
+		t.Fatal("expected SAT")
+	}
+}

@@ -1,0 +1,39 @@
+package sat
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseDIMACS asserts the CNF reader never panics and, for small
+// accepted instances, that the solver verdict is stable under
+// write/re-parse.
+func FuzzParseDIMACS(f *testing.F) {
+	f.Add("p cnf 2 2\n1 -2 0\n-1 2 0\n")
+	f.Add("p cnf 1 2\n1 0\n-1 0\n")
+	f.Add("c comment\np cnf 3 1\n1 2 3 0\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		s, err := ParseDIMACS(strings.NewReader(src))
+		if err != nil {
+			return
+		}
+		if s.NumVars() > 24 {
+			return // keep fuzz iterations fast
+		}
+		s.MaxConflicts = 200
+		v1 := s.Solve()
+		var sb strings.Builder
+		if err := WriteDIMACS(&sb, s); err != nil {
+			t.Fatalf("write failed: %v", err)
+		}
+		s2, err := ParseDIMACS(strings.NewReader(sb.String()))
+		if err != nil {
+			t.Fatalf("round trip failed: %v\n%s", err, sb.String())
+		}
+		s2.MaxConflicts = 200
+		v2 := s2.Solve()
+		if v1 != Unknown && v2 != Unknown && v1 != v2 {
+			t.Fatalf("verdict changed across round trip: %v vs %v\n%s", v1, v2, src)
+		}
+	})
+}

@@ -1,0 +1,91 @@
+package sat
+
+// varHeap is a binary max-heap over variables ordered by VSIDS activity,
+// with an index for in-place priority updates.
+type varHeap struct {
+	solver *Solver
+	heap   []int // variable indices
+	pos    []int // variable -> heap index, -1 when absent
+}
+
+func (h *varHeap) less(a, b int) bool {
+	return h.solver.activity[a] > h.solver.activity[b]
+}
+
+func (h *varHeap) ensurePos(v int) {
+	for len(h.pos) <= v {
+		h.pos = append(h.pos, -1)
+	}
+}
+
+func (h *varHeap) push(v int) {
+	h.ensurePos(v)
+	if h.pos[v] >= 0 {
+		return
+	}
+	h.pos[v] = len(h.heap)
+	h.heap = append(h.heap, v)
+	h.up(h.pos[v])
+}
+
+func (h *varHeap) pushIfAbsent(v int) { h.push(v) }
+
+func (h *varHeap) pop() (int, bool) {
+	if len(h.heap) == 0 {
+		return 0, false
+	}
+	v := h.heap[0]
+	last := h.heap[len(h.heap)-1]
+	h.heap = h.heap[:len(h.heap)-1]
+	h.pos[v] = -1
+	if len(h.heap) > 0 {
+		h.heap[0] = last
+		h.pos[last] = 0
+		h.down(0)
+	}
+	return v, true
+}
+
+// update restores heap order after v's activity increased.
+func (h *varHeap) update(v int) {
+	h.ensurePos(v)
+	if h.pos[v] >= 0 {
+		h.up(h.pos[v])
+	}
+}
+
+func (h *varHeap) up(i int) {
+	v := h.heap[i]
+	for i > 0 {
+		p := (i - 1) / 2
+		if !h.less(v, h.heap[p]) {
+			break
+		}
+		h.heap[i] = h.heap[p]
+		h.pos[h.heap[i]] = i
+		i = p
+	}
+	h.heap[i] = v
+	h.pos[v] = i
+}
+
+func (h *varHeap) down(i int) {
+	v := h.heap[i]
+	for {
+		c := 2*i + 1
+		if c >= len(h.heap) {
+			break
+		}
+		if c+1 < len(h.heap) && h.less(h.heap[c+1], h.heap[c]) {
+			c++
+		}
+		if !h.less(h.heap[c], v) {
+			break
+		}
+		h.heap[i] = h.heap[c]
+		h.pos[h.heap[i]] = i
+		i = c
+	}
+	h.heap[i] = v
+	h.pos[v] = i
+}

@@ -1,0 +1,560 @@
+// Package sat implements a CDCL (conflict-driven clause learning)
+// Boolean satisfiability solver with two-watched-literal propagation,
+// VSIDS-style decision heuristics, phase saving, first-UIP conflict
+// analysis with recursive clause minimization, and Luby restarts.
+//
+// It is the complete decision engine behind the combinational equivalence
+// checker (Section 7.4 of the paper reduces CBF/EDBF equivalence to
+// combinational equivalence; tools of the Matsunaga / Kuehlmann-Krohm
+// family pair structural filtering with exactly this kind of engine).
+package sat
+
+import "sort"
+
+// Lit is a literal: variable index shifted left once, LSB = negation.
+// Variables are 0-based.
+type Lit int32
+
+// MkLit builds a literal from a variable index and sign (neg=true for ¬v).
+func MkLit(v int, neg bool) Lit {
+	l := Lit(v << 1)
+	if neg {
+		l |= 1
+	}
+	return l
+}
+
+// Var returns the literal's variable index.
+func (l Lit) Var() int { return int(l >> 1) }
+
+// Neg reports whether the literal is negated.
+func (l Lit) Neg() bool { return l&1 == 1 }
+
+// Not returns the complementary literal.
+func (l Lit) Not() Lit { return l ^ 1 }
+
+// Status is a solver verdict.
+type Status int
+
+const (
+	// Unknown means the solver gave up (budget exhausted).
+	Unknown Status = iota
+	// Sat means a model was found.
+	Sat
+	// Unsat means the instance is unsatisfiable.
+	Unsat
+)
+
+func (s Status) String() string {
+	switch s {
+	case Sat:
+		return "SAT"
+	case Unsat:
+		return "UNSAT"
+	}
+	return "UNKNOWN"
+}
+
+type lbool int8
+
+const (
+	lUndef lbool = iota
+	lTrue
+	lFalse
+)
+
+type clause struct {
+	lits    []Lit
+	learned bool
+	act     float64
+}
+
+type watch struct {
+	cref    int // index into clauses
+	blocker Lit
+}
+
+// Solver is a CDCL SAT solver. The zero value is not usable; call New.
+type Solver struct {
+	clauses []*clause
+	watches [][]watch // indexed by literal
+
+	assign  []lbool // indexed by var: value of the positive literal
+	level   []int32 // decision level of assignment
+	reason  []int   // antecedent clause index, -1 for decisions
+	phase   []bool  // saved phase
+	trail   []Lit
+	trailLm []int32 // decision-level boundaries in trail
+	qhead   int
+
+	activity []float64
+	varInc   float64
+	order    *varHeap
+
+	seen      []bool
+	unsatisf  bool   // top-level conflict found during AddClause
+	lastModel []bool // snapshot of the most recent Sat assignment
+
+	// Budget: conflicts allowed per Solve call; <= 0 means unlimited.
+	MaxConflicts int64
+	conflicts    int64
+
+	// Stats
+	Stats struct {
+		Decisions, Propagations, Conflicts, Learned, Restarts int64
+	}
+}
+
+// New returns a solver preallocated for nvars variables (more may be
+// created on demand by AddClause).
+func New(nvars int) *Solver {
+	s := &Solver{varInc: 1}
+	s.order = &varHeap{solver: s}
+	s.ensure(nvars)
+	return s
+}
+
+// NumVars returns the current variable count.
+func (s *Solver) NumVars() int { return len(s.assign) }
+
+// NewVar creates a fresh variable and returns its index.
+func (s *Solver) NewVar() int {
+	v := len(s.assign)
+	s.ensure(v + 1)
+	return v
+}
+
+func (s *Solver) ensure(nvars int) {
+	for len(s.assign) < nvars {
+		s.assign = append(s.assign, lUndef)
+		s.level = append(s.level, 0)
+		s.reason = append(s.reason, -1)
+		s.phase = append(s.phase, false)
+		s.activity = append(s.activity, 0)
+		s.seen = append(s.seen, false)
+		s.watches = append(s.watches, nil, nil)
+		s.order.push(len(s.assign) - 1)
+	}
+}
+
+func (s *Solver) litValue(l Lit) lbool {
+	v := s.assign[l.Var()]
+	if v == lUndef {
+		return lUndef
+	}
+	if l.Neg() {
+		if v == lTrue {
+			return lFalse
+		}
+		return lTrue
+	}
+	return v
+}
+
+// AddClause adds a clause (a disjunction of literals). Returns false if
+// the formula became trivially unsatisfiable at the top level.
+func (s *Solver) AddClause(lits ...Lit) bool {
+	if s.unsatisf {
+		return false
+	}
+	maxVar := -1
+	for _, l := range lits {
+		if l.Var() > maxVar {
+			maxVar = l.Var()
+		}
+	}
+	s.ensure(maxVar + 1)
+
+	// Normalize: sort, drop duplicates and false literals, detect
+	// tautologies and satisfied clauses (only top-level assignments
+	// exist during clause loading).
+	ls := append([]Lit(nil), lits...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i] < ls[j] })
+	out := ls[:0]
+	var prev Lit = -1
+	for _, l := range ls {
+		if l == prev {
+			continue
+		}
+		if prev >= 0 && l == prev.Not() {
+			return true // tautology
+		}
+		switch s.litValue(l) {
+		case lTrue:
+			return true // already satisfied
+		case lFalse:
+			continue // drop
+		}
+		out = append(out, l)
+		prev = l
+	}
+	switch len(out) {
+	case 0:
+		s.unsatisf = true
+		return false
+	case 1:
+		if !s.enqueue(out[0], -1) {
+			s.unsatisf = true
+			return false
+		}
+		if s.propagate() >= 0 {
+			s.unsatisf = true
+			return false
+		}
+		return true
+	}
+	s.attach(&clause{lits: append([]Lit(nil), out...)})
+	return true
+}
+
+func (s *Solver) attach(c *clause) int {
+	cref := len(s.clauses)
+	s.clauses = append(s.clauses, c)
+	s.watches[c.lits[0].Not()] = append(s.watches[c.lits[0].Not()], watch{cref, c.lits[1]})
+	s.watches[c.lits[1].Not()] = append(s.watches[c.lits[1].Not()], watch{cref, c.lits[0]})
+	return cref
+}
+
+func (s *Solver) decisionLevel() int32 { return int32(len(s.trailLm)) }
+
+func (s *Solver) enqueue(l Lit, reason int) bool {
+	switch s.litValue(l) {
+	case lTrue:
+		return true
+	case lFalse:
+		return false
+	}
+	v := l.Var()
+	if l.Neg() {
+		s.assign[v] = lFalse
+	} else {
+		s.assign[v] = lTrue
+	}
+	s.level[v] = s.decisionLevel()
+	s.reason[v] = reason
+	s.trail = append(s.trail, l)
+	return true
+}
+
+// propagate runs unit propagation; it returns the index of a conflicting
+// clause, or -1.
+func (s *Solver) propagate() int {
+	for s.qhead < len(s.trail) {
+		p := s.trail[s.qhead]
+		s.qhead++
+		s.Stats.Propagations++
+		ws := s.watches[p]
+		j := 0
+		for i := 0; i < len(ws); i++ {
+			w := ws[i]
+			if s.litValue(w.blocker) == lTrue {
+				ws[j] = w
+				j++
+				continue
+			}
+			c := s.clauses[w.cref]
+			// Ensure the false literal (¬p) is in slot 1.
+			if c.lits[0] == p.Not() {
+				c.lits[0], c.lits[1] = c.lits[1], c.lits[0]
+			}
+			first := c.lits[0]
+			if first != w.blocker && s.litValue(first) == lTrue {
+				ws[j] = watch{w.cref, first}
+				j++
+				continue
+			}
+			// Find a new literal to watch.
+			found := false
+			for k := 2; k < len(c.lits); k++ {
+				if s.litValue(c.lits[k]) != lFalse {
+					c.lits[1], c.lits[k] = c.lits[k], c.lits[1]
+					s.watches[c.lits[1].Not()] = append(s.watches[c.lits[1].Not()], watch{w.cref, first})
+					found = true
+					break
+				}
+			}
+			if found {
+				continue // this watch moves; do not keep it
+			}
+			// Clause is unit or conflicting.
+			if s.litValue(first) == lFalse {
+				// Conflict: restore remaining watches.
+				for ; i < len(ws); i++ {
+					ws[j] = ws[i]
+					j++
+				}
+				s.watches[p] = ws[:j]
+				s.qhead = len(s.trail)
+				return w.cref
+			}
+			ws[j] = w
+			j++
+			s.enqueue(first, w.cref)
+		}
+		s.watches[p] = ws[:j]
+	}
+	return -1
+}
+
+func (s *Solver) bumpVar(v int) {
+	s.activity[v] += s.varInc
+	if s.activity[v] > 1e100 {
+		for i := range s.activity {
+			s.activity[i] *= 1e-100
+		}
+		s.varInc *= 1e-100
+	}
+	s.order.update(v)
+}
+
+// analyze performs first-UIP conflict analysis, returning the learned
+// clause (asserting literal first) and the backjump level.
+func (s *Solver) analyze(confl int) ([]Lit, int32) {
+	learned := []Lit{0} // slot for the asserting literal
+	counter := 0
+	var p Lit = -1
+	idx := len(s.trail) - 1
+	cref := confl
+	var toClear []int
+
+	for {
+		c := s.clauses[cref]
+		start := 0
+		if p != -1 {
+			start = 1
+		}
+		for _, q := range c.lits[start:] {
+			v := q.Var()
+			if s.seen[v] || s.level[v] == 0 {
+				continue
+			}
+			s.seen[v] = true
+			toClear = append(toClear, v)
+			s.bumpVar(v)
+			if s.level[v] == s.decisionLevel() {
+				counter++
+			} else {
+				learned = append(learned, q)
+			}
+		}
+		// Find next literal on the trail to resolve on.
+		for !s.seen[s.trail[idx].Var()] {
+			idx--
+		}
+		p = s.trail[idx]
+		idx--
+		v := p.Var()
+		s.seen[v] = false
+		counter--
+		if counter == 0 {
+			learned[0] = p.Not()
+			break
+		}
+		cref = s.reason[v]
+	}
+
+	// Recursive minimization: drop literals implied by the rest.
+	abstract := uint32(0)
+	for _, l := range learned[1:] {
+		abstract |= 1 << (uint(s.level[l.Var()]) & 31)
+	}
+	j := 1
+	for i := 1; i < len(learned); i++ {
+		v := learned[i].Var()
+		if s.reason[v] == -1 || !s.redundant(learned[i], abstract, &toClear) {
+			learned[j] = learned[i]
+			j++
+		}
+	}
+	learned = learned[:j]
+
+	for _, v := range toClear {
+		s.seen[v] = false
+	}
+
+	// Backjump level = max level among learned[1:].
+	bt := int32(0)
+	if len(learned) > 1 {
+		maxI := 1
+		for i := 2; i < len(learned); i++ {
+			if s.level[learned[i].Var()] > s.level[learned[maxI].Var()] {
+				maxI = i
+			}
+		}
+		learned[1], learned[maxI] = learned[maxI], learned[1]
+		bt = s.level[learned[1].Var()]
+	}
+	return learned, bt
+}
+
+// redundant checks whether literal l is implied by the remaining learned
+// literals (MiniSat's litRedundant).
+func (s *Solver) redundant(l Lit, abstract uint32, toClear *[]int) bool {
+	stack := []Lit{l}
+	top := len(*toClear)
+	for len(stack) > 0 {
+		p := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		c := s.clauses[s.reason[p.Var()]]
+		for _, q := range c.lits[1:] {
+			v := q.Var()
+			if s.seen[v] || s.level[v] == 0 {
+				continue
+			}
+			if s.reason[v] == -1 || (1<<(uint(s.level[v])&31))&abstract == 0 {
+				// Not removable: undo marks made during this check.
+				for _, u := range (*toClear)[top:] {
+					s.seen[u] = false
+				}
+				*toClear = (*toClear)[:top]
+				return false
+			}
+			s.seen[v] = true
+			*toClear = append(*toClear, v)
+			stack = append(stack, q)
+		}
+	}
+	return true
+}
+
+func (s *Solver) cancelUntil(lv int32) {
+	if s.decisionLevel() <= lv {
+		return
+	}
+	bound := s.trailLm[lv]
+	for i := len(s.trail) - 1; i >= int(bound); i-- {
+		v := s.trail[i].Var()
+		s.phase[v] = s.assign[v] == lTrue
+		s.assign[v] = lUndef
+		s.reason[v] = -1
+		s.order.pushIfAbsent(v)
+	}
+	s.trail = s.trail[:bound]
+	s.trailLm = s.trailLm[:lv]
+	s.qhead = len(s.trail)
+}
+
+func (s *Solver) pickBranch() Lit {
+	for {
+		v, ok := s.order.pop()
+		if !ok {
+			return -1
+		}
+		if s.assign[v] == lUndef {
+			return MkLit(v, !s.phase[v])
+		}
+	}
+}
+
+// luby computes the reluctant-doubling restart sequence.
+func luby(i int64) int64 {
+	for k := int64(1); ; k++ {
+		if i == (1<<uint(k))-1 {
+			return 1 << uint(k-1)
+		}
+		if i >= 1<<uint(k-1) && i < (1<<uint(k))-1 {
+			return luby(i - (1 << uint(k-1)) + 1)
+		}
+	}
+}
+
+// Solve decides satisfiability under the given assumption literals.
+// On Sat, Model reports variable values. On Unknown the conflict budget
+// was exhausted.
+func (s *Solver) solve(assumptions ...Lit) Status {
+	if s.unsatisf {
+		return Unsat
+	}
+	s.conflicts = 0
+	restartNum := int64(1)
+	restartLimit := luby(restartNum) * 64
+
+	defer s.cancelUntil(0)
+	for {
+		confl := s.propagate()
+		if confl >= 0 {
+			s.Stats.Conflicts++
+			s.conflicts++
+			if s.decisionLevel() == 0 {
+				// A conflict with no decisions means the clause set
+				// itself is contradictory; latch it so later Solve
+				// calls (whose propagation queue is already drained)
+				// cannot wrongly report Sat.
+				s.unsatisf = true
+				return Unsat
+			}
+			learned, bt := s.analyze(confl)
+			s.cancelUntil(bt)
+			if len(learned) == 1 {
+				s.enqueue(learned[0], -1)
+			} else {
+				c := &clause{lits: learned, learned: true}
+				cref := s.attach(c)
+				s.Stats.Learned++
+				s.enqueue(learned[0], cref)
+			}
+			s.varInc /= 0.95
+			if s.MaxConflicts > 0 && s.conflicts >= s.MaxConflicts {
+				return Unknown
+			}
+			if s.conflicts >= restartLimit {
+				restartNum++
+				restartLimit = s.conflicts + luby(restartNum)*64
+				s.Stats.Restarts++
+				s.cancelUntil(int32(len(assumptions)))
+			}
+			continue
+		}
+		// No conflict: extend assumptions, then decide.
+		if int(s.decisionLevel()) < len(assumptions) {
+			a := assumptions[s.decisionLevel()]
+			switch s.litValue(a) {
+			case lTrue:
+				// Already satisfied: open an empty level to keep the
+				// level↔assumption correspondence.
+				s.trailLm = append(s.trailLm, int32(len(s.trail)))
+			case lFalse:
+				return Unsat
+			default:
+				s.trailLm = append(s.trailLm, int32(len(s.trail)))
+				s.enqueue(a, -1)
+			}
+			continue
+		}
+		l := s.pickBranch()
+		if l == -1 {
+			// Capture the model before the deferred backtrack erases it.
+			s.lastModel = make([]bool, len(s.assign))
+			for v := range s.assign {
+				s.lastModel[v] = s.assign[v] == lTrue
+			}
+			return Sat
+		}
+		s.Stats.Decisions++
+		s.trailLm = append(s.trailLm, int32(len(s.trail)))
+		s.enqueue(l, -1)
+	}
+}
+
+// Solve decides satisfiability under the given assumptions.
+func (s *Solver) Solve(assumptions ...Lit) Status {
+	return s.solve(assumptions...)
+}
+
+// SolveModel runs Solve and, on Sat, also returns the model, indexed by
+// variable.
+func (s *Solver) SolveModel(assumptions ...Lit) (Status, []bool) {
+	st := s.solve(assumptions...)
+	if st != Sat {
+		return st, nil
+	}
+	return st, s.lastModel
+}
+
+// Model returns variable v's value in the most recent Sat result.
+func (s *Solver) Model(v int) bool {
+	if s.lastModel == nil {
+		return false
+	}
+	return s.lastModel[v]
+}

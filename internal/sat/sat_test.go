@@ -1,0 +1,325 @@
+package sat
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestTrivial(t *testing.T) {
+	s := New(1)
+	if !s.AddClause(MkLit(0, false)) {
+		t.Fatal("unit clause rejected")
+	}
+	st, model := s.SolveModel()
+	if st != Sat || !model[0] {
+		t.Fatalf("st=%v model=%v", st, model)
+	}
+}
+
+func TestEmptyClauseUnsat(t *testing.T) {
+	s := New(1)
+	s.AddClause(MkLit(0, false))
+	if s.AddClause(MkLit(0, true)) {
+		t.Fatal("contradicting unit clauses accepted")
+	}
+	if s.Solve() != Unsat {
+		t.Fatal("expected UNSAT")
+	}
+}
+
+func TestTautologyDropped(t *testing.T) {
+	s := New(1)
+	if !s.AddClause(MkLit(0, false), MkLit(0, true)) {
+		t.Fatal("tautology rejected")
+	}
+	if s.Solve() != Sat {
+		t.Fatal("tautology-only formula must be SAT")
+	}
+}
+
+func TestSimpleImplicationChain(t *testing.T) {
+	// x0 -> x1 -> x2 -> ... -> x9; assert x0, so all must be true.
+	s := New(10)
+	for i := 0; i < 9; i++ {
+		s.AddClause(MkLit(i, true), MkLit(i+1, false))
+	}
+	s.AddClause(MkLit(0, false))
+	st, model := s.SolveModel()
+	if st != Sat {
+		t.Fatal("chain must be SAT")
+	}
+	for i := 0; i < 10; i++ {
+		if !model[i] {
+			t.Fatalf("x%d false in model", i)
+		}
+	}
+}
+
+// pigeonhole encodes PHP(n+1, n): n+1 pigeons into n holes. UNSAT.
+func pigeonhole(n int) *Solver {
+	s := New((n + 1) * n)
+	v := func(p, h int) int { return p*n + h }
+	// Each pigeon in some hole.
+	for p := 0; p <= n; p++ {
+		lits := make([]Lit, n)
+		for h := 0; h < n; h++ {
+			lits[h] = MkLit(v(p, h), false)
+		}
+		s.AddClause(lits...)
+	}
+	// No two pigeons share a hole.
+	for h := 0; h < n; h++ {
+		for p1 := 0; p1 <= n; p1++ {
+			for p2 := p1 + 1; p2 <= n; p2++ {
+				s.AddClause(MkLit(v(p1, h), true), MkLit(v(p2, h), true))
+			}
+		}
+	}
+	return s
+}
+
+func TestPigeonholeUnsat(t *testing.T) {
+	for n := 2; n <= 6; n++ {
+		if st := pigeonhole(n).Solve(); st != Unsat {
+			t.Fatalf("PHP(%d+1,%d) = %v, want UNSAT", n, n, st)
+		}
+	}
+}
+
+func TestPigeonholeSatVariant(t *testing.T) {
+	// n pigeons in n holes is satisfiable: drop pigeon n.
+	n := 5
+	s := New(n * n)
+	v := func(p, h int) int { return p*n + h }
+	for p := 0; p < n; p++ {
+		lits := make([]Lit, n)
+		for h := 0; h < n; h++ {
+			lits[h] = MkLit(v(p, h), false)
+		}
+		s.AddClause(lits...)
+	}
+	for h := 0; h < n; h++ {
+		for p1 := 0; p1 < n; p1++ {
+			for p2 := p1 + 1; p2 < n; p2++ {
+				s.AddClause(MkLit(v(p1, h), true), MkLit(v(p2, h), true))
+			}
+		}
+	}
+	st, model := s.SolveModel()
+	if st != Sat {
+		t.Fatal("PHP(n,n) must be SAT")
+	}
+	// Verify the model is a valid assignment.
+	for h := 0; h < n; h++ {
+		cnt := 0
+		for p := 0; p < n; p++ {
+			if model[v(p, h)] {
+				cnt++
+			}
+		}
+		if cnt > 1 {
+			t.Fatalf("hole %d has %d pigeons", h, cnt)
+		}
+	}
+}
+
+// bruteForce3SAT decides a 3-CNF by enumeration.
+func bruteForce3SAT(nvars int, clauses [][]Lit) bool {
+	for m := 0; m < 1<<uint(nvars); m++ {
+		ok := true
+		for _, cl := range clauses {
+			clauseSat := false
+			for _, l := range cl {
+				val := m&(1<<uint(l.Var())) != 0
+				if val != l.Neg() {
+					clauseSat = true
+					break
+				}
+			}
+			if !clauseSat {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return true
+		}
+	}
+	return false
+}
+
+func TestRandom3SATAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	const nvars = 10
+	for trial := 0; trial < 120; trial++ {
+		ncl := 30 + rng.Intn(30) // around the phase transition (~4.3n)
+		clauses := make([][]Lit, ncl)
+		for i := range clauses {
+			cl := make([]Lit, 3)
+			for j := range cl {
+				cl[j] = MkLit(rng.Intn(nvars), rng.Intn(2) == 0)
+			}
+			clauses[i] = cl
+		}
+		s := New(nvars)
+		ok := true
+		for _, cl := range clauses {
+			if !s.AddClause(cl...) {
+				ok = false
+				break
+			}
+		}
+		var got Status
+		if !ok {
+			got = Unsat
+		} else {
+			got = s.Solve()
+		}
+		want := Sat
+		if !bruteForce3SAT(nvars, clauses) {
+			want = Unsat
+		}
+		if got != want {
+			t.Fatalf("trial %d: solver=%v bruteforce=%v", trial, got, want)
+		}
+		// On SAT, check the model satisfies every clause.
+		if got == Sat {
+			_, model := s.SolveModel()
+			for _, cl := range clauses {
+				sat := false
+				for _, l := range cl {
+					if model[l.Var()] != l.Neg() {
+						sat = true
+						break
+					}
+				}
+				if !sat {
+					t.Fatalf("trial %d: model violates clause %v", trial, cl)
+				}
+			}
+		}
+	}
+}
+
+func TestAssumptions(t *testing.T) {
+	// (a + b)(¬a + c): assuming ¬b forces a, hence c.
+	s := New(3)
+	s.AddClause(MkLit(0, false), MkLit(1, false))
+	s.AddClause(MkLit(0, true), MkLit(2, false))
+	st, model := s.SolveModel(MkLit(1, true))
+	if st != Sat || !model[0] || !model[2] || model[1] {
+		t.Fatalf("st=%v model=%v", st, model)
+	}
+	// Conflicting assumptions.
+	if s.Solve(MkLit(0, false), MkLit(0, true)) != Unsat {
+		t.Fatal("contradictory assumptions must be UNSAT")
+	}
+	// Solver is reusable after assumption solving.
+	if s.Solve() != Sat {
+		t.Fatal("solver not reusable")
+	}
+}
+
+func TestAssumptionsIncremental(t *testing.T) {
+	// Equivalence-checking usage pattern: one solver, many assumption
+	// probes with clauses added in between.
+	s := New(4)
+	s.AddClause(MkLit(0, true), MkLit(1, false)) // x0 -> x1
+	if s.Solve(MkLit(0, false), MkLit(1, true)) != Unsat {
+		t.Fatal("probe 1 should be UNSAT")
+	}
+	s.AddClause(MkLit(1, true), MkLit(2, false)) // x1 -> x2
+	if s.Solve(MkLit(0, false), MkLit(2, true)) != Unsat {
+		t.Fatal("probe 2 should be UNSAT")
+	}
+	if s.Solve(MkLit(0, false)) != Sat {
+		t.Fatal("probe 3 should be SAT")
+	}
+}
+
+func TestXorChainUnsat(t *testing.T) {
+	// x0 ⊕ x1 = 1, x1 ⊕ x2 = 1, x0 ⊕ x2 = 1 is UNSAT (odd cycle).
+	s := New(3)
+	xorCl := func(a, b int) {
+		s.AddClause(MkLit(a, false), MkLit(b, false))
+		s.AddClause(MkLit(a, true), MkLit(b, true))
+	}
+	xorCl(0, 1)
+	xorCl(1, 2)
+	xorCl(0, 2)
+	if s.Solve() != Unsat {
+		t.Fatal("odd xor cycle must be UNSAT")
+	}
+}
+
+func TestConflictBudget(t *testing.T) {
+	s := pigeonhole(8)
+	s.MaxConflicts = 10
+	if st := s.Solve(); st != Unknown && st != Unsat {
+		t.Fatalf("got %v", st)
+	}
+	// A tiny budget on a hard instance should realistically be Unknown.
+	s2 := pigeonhole(9)
+	s2.MaxConflicts = 5
+	if st := s2.Solve(); st != Unknown {
+		t.Fatalf("expected Unknown under tiny budget, got %v", st)
+	}
+}
+
+func TestStatsPopulated(t *testing.T) {
+	s := pigeonhole(5)
+	s.Solve()
+	if s.Stats.Conflicts == 0 || s.Stats.Decisions == 0 || s.Stats.Propagations == 0 {
+		t.Fatalf("stats not populated: %+v", s.Stats)
+	}
+}
+
+func TestLuby(t *testing.T) {
+	want := []int64{1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8}
+	for i, w := range want {
+		if got := luby(int64(i + 1)); got != w {
+			t.Fatalf("luby(%d) = %d, want %d", i+1, got, w)
+		}
+	}
+}
+
+func TestNewVar(t *testing.T) {
+	s := New(0)
+	a := s.NewVar()
+	b := s.NewVar()
+	if a != 0 || b != 1 {
+		t.Fatalf("vars %d %d", a, b)
+	}
+	s.AddClause(MkLit(a, false))
+	s.AddClause(MkLit(b, true))
+	st, model := s.SolveModel()
+	if st != Sat || !model[a] || model[b] {
+		t.Fatalf("st=%v model=%v", st, model)
+	}
+}
+
+func TestDuplicateLiteralsNormalized(t *testing.T) {
+	s := New(2)
+	s.AddClause(MkLit(0, false), MkLit(0, false), MkLit(1, false))
+	s.AddClause(MkLit(0, true))
+	st, model := s.SolveModel()
+	if st != Sat || !model[1] {
+		t.Fatalf("st=%v model=%v", st, model)
+	}
+}
+
+func TestUnsatVerdictStable(t *testing.T) {
+	// Regression: an UNSAT verdict from a level-0 conflict must persist
+	// across repeated Solve calls (the propagation queue is drained
+	// after the first, so the latch is load-bearing).
+	s := New(2)
+	s.AddClause(MkLit(0, false), MkLit(1, false))
+	s.AddClause(MkLit(0, false), MkLit(1, true))
+	s.AddClause(MkLit(0, true), MkLit(1, false))
+	s.AddClause(MkLit(0, true), MkLit(1, true))
+	first := s.Solve()
+	second := s.Solve()
+	if first != Unsat || second != Unsat {
+		t.Fatalf("verdicts: %v then %v", first, second)
+	}
+}

@@ -1,0 +1,200 @@
+package seqbdd
+
+import (
+	"time"
+
+	"seqver/internal/bdd"
+	"seqver/internal/netlist"
+)
+
+// This file adds the explicitly partitioned transition-relation
+// traversal: one conjunct per latch, combined left-to-right with
+// variables quantified as soon as no remaining conjunct mentions them
+// (Touati et al. [13]). Note that the "monolithic" traversal in
+// seqbdd.go already interleaves conjunction and quantification through
+// AndExists, which on most circuits is the stronger schedule; the
+// partitioned variant is kept as the textbook alternative and for the
+// baseline ablation — neither escapes the exponential cliff that
+// motivates the paper's combinational reduction.
+
+// CheckResetEquivalencePartitioned behaves like CheckResetEquivalence
+// but uses the explicit per-latch partitioning described above.
+func CheckResetEquivalencePartitioned(c1, c2 *netlist.Circuit, opt Options) (*Result, error) {
+	start := time.Now()
+	if opt.MaxNodes == 0 {
+		opt.MaxNodes = 500_000
+	}
+	m := bdd.New(0)
+	m.MaxNodes = opt.MaxNodes
+	res := &Result{}
+	defer func() {
+		res.Elapsed = time.Since(start)
+		res.PeakNodes = m.NumNodes()
+	}()
+	var verdict Verdict
+	err := bdd.CatchLimit(func() {
+		verdict = traversePartitioned(m, c1, c2, res)
+	})
+	if err != nil {
+		res.Verdict = Blowup
+		return res, nil
+	}
+	res.Verdict = verdict
+	return res, nil
+}
+
+func traversePartitioned(m *bdd.Manager, c1, c2 *netlist.Circuit, res *Result) Verdict {
+	inVar := make(map[string]int)
+	for _, id := range c1.Inputs {
+		inVar[c1.Nodes[id].Name] = m.AddVar()
+	}
+	for i, id := range c2.Inputs {
+		name := c2.Nodes[id].Name
+		if _, ok := inVar[name]; !ok {
+			inVar[name] = inVar[c1.Nodes[c1.Inputs[i]].Name]
+		}
+	}
+	m1, err := buildMachine(m, c1, inVar)
+	if err != nil {
+		panic(bdd.ErrNodeLimit)
+	}
+	m2, err := buildMachine(m, c2, inVar)
+	if err != nil {
+		panic(bdd.ErrNodeLimit)
+	}
+
+	bad := bdd.False
+	for i := range m1.outs {
+		bad = m.Or(bad, m.Xor(m1.outs[i], m2.outs[i]))
+	}
+
+	// One conjunct per latch: t_i = (s_i' XNOR next_i).
+	type conjunct struct {
+		rel bdd.Ref
+		sup map[int]bool
+	}
+	var parts []conjunct
+	addPart := func(nv int, next bdd.Ref) {
+		rel := m.Xnor(m.Var(nv), next)
+		sup := make(map[int]bool)
+		for _, v := range m.Support(rel) {
+			sup[v] = true
+		}
+		parts = append(parts, conjunct{rel, sup})
+	}
+	for i := range m1.next {
+		addPart(m1.nextVar[i], m1.next[i])
+	}
+	for i := range m2.next {
+		addPart(m2.nextVar[i], m2.next[i])
+	}
+
+	// Variables to quantify: inputs + current-state vars.
+	quantSet := make(map[int]bool)
+	for _, v := range inVar {
+		quantSet[v] = true
+	}
+	for _, v := range m1.current {
+		quantSet[v] = true
+	}
+	for _, v := range m2.current {
+		quantSet[v] = true
+	}
+
+	sub := make(map[int]bdd.Ref)
+	for i := range m1.current {
+		sub[m1.nextVar[i]] = m.Var(m1.current[i])
+	}
+	for i := range m2.current {
+		sub[m2.nextVar[i]] = m.Var(m2.current[i])
+	}
+
+	reached := bdd.True
+	for _, v := range m1.current {
+		reached = m.And(reached, m.NVar(v))
+	}
+	for _, v := range m2.current {
+		reached = m.And(reached, m.NVar(v))
+	}
+
+	// image computes ∃quant. frontier ∧ part_1 ∧ ... ∧ part_k with early
+	// quantification: after conjoining each part, any quantified
+	// variable not appearing in the remaining parts is eliminated
+	// immediately, keeping intermediate products small.
+	image := func(frontier bdd.Ref) bdd.Ref {
+		// Count remaining occurrences of each quantified variable.
+		remaining := make(map[int]int)
+		for v := range quantSet {
+			remaining[v] = 0
+		}
+		for _, p := range parts {
+			for v := range p.sup {
+				if quantSet[v] {
+					remaining[v]++
+				}
+			}
+		}
+		cur := frontier
+		curSup := make(map[int]bool)
+		for _, v := range m.Support(frontier) {
+			curSup[v] = true
+		}
+		for _, p := range parts {
+			// Quantify variables that appear only in cur (and no later
+			// part) before conjoining — they are already dead.
+			cur = m.And(cur, p.rel)
+			for v := range p.sup {
+				curSup[v] = true
+				remaining[v]--
+			}
+			var deadVars []int
+			for v := range curSup {
+				if quantSet[v] && remaining[v] == 0 {
+					deadVars = append(deadVars, v)
+					delete(curSup, v)
+				}
+			}
+			if len(deadVars) > 0 {
+				cur = m.Exists(cur, m.CubeVars(sortedInts(deadVars)))
+			}
+		}
+		// Any quantified variables left (e.g. inputs unused by parts).
+		var rest []int
+		for v := range curSup {
+			if quantSet[v] {
+				rest = append(rest, v)
+			}
+		}
+		if len(rest) > 0 {
+			cur = m.Exists(cur, m.CubeVars(sortedInts(rest)))
+		}
+		return cur
+	}
+
+	frontier := reached
+	for {
+		if m.And(frontier, bad) != bdd.False {
+			return Inequivalent
+		}
+		res.Iterations++
+		img := m.VecCompose(image(frontier), sub)
+		newStates := m.And(img, reached.Not())
+		if newStates == bdd.False {
+			break
+		}
+		reached = m.Or(reached, newStates)
+		frontier = newStates
+	}
+	nState := len(m1.current) + len(m2.current)
+	res.States = m.SatCount(reached, m.NumVars()) / pow2(m.NumVars()-nState)
+	return Equivalent
+}
+
+func sortedInts(vs []int) []int {
+	for i := 1; i < len(vs); i++ {
+		for j := i; j > 0 && vs[j] < vs[j-1]; j-- {
+			vs[j], vs[j-1] = vs[j-1], vs[j]
+		}
+	}
+	return vs
+}

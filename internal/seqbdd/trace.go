@@ -1,0 +1,208 @@
+package seqbdd
+
+import (
+	"fmt"
+	"time"
+
+	"seqver/internal/bdd"
+	"seqver/internal/netlist"
+)
+
+// Trace extraction: when the product traversal finds a distinguishing
+// reachable state, verification engineers need the input sequence that
+// drives the machines there from reset. This file re-runs the traversal
+// keeping the onion rings (frontier per step) and walks them backwards
+// extracting one concrete input vector per step.
+
+// TraceResult extends Result with a concrete error trace.
+type TraceResult struct {
+	Result
+	// Inputs is the distinguishing sequence: Inputs[t] assigns circuit
+	// 1's primary inputs (by name) at cycle t. Applying it from the
+	// all-zero reset makes some output differ at the last cycle.
+	Inputs []map[string]bool
+}
+
+// CheckWithTrace performs the reset-equivalence traversal and, on
+// inequivalence, returns a concrete distinguishing input sequence.
+func CheckWithTrace(c1, c2 *netlist.Circuit, opt Options) (*TraceResult, error) {
+	start := time.Now()
+	if opt.MaxNodes == 0 {
+		opt.MaxNodes = 500_000
+	}
+	if len(c1.Inputs) != len(c2.Inputs) || len(c1.Outputs) != len(c2.Outputs) {
+		return nil, fmt.Errorf("seqbdd: interface mismatch")
+	}
+	m := bdd.New(0)
+	m.MaxNodes = opt.MaxNodes
+	res := &TraceResult{}
+	defer func() {
+		res.Elapsed = time.Since(start)
+		res.PeakNodes = m.NumNodes()
+	}()
+	var verdict Verdict
+	var trace []map[string]bool
+	err := bdd.CatchLimit(func() {
+		verdict, trace = traverseWithRings(m, c1, c2, &res.Result)
+	})
+	if err != nil {
+		res.Verdict = Blowup
+		return res, nil
+	}
+	res.Verdict = verdict
+	res.Inputs = trace
+	return res, nil
+}
+
+func traverseWithRings(m *bdd.Manager, c1, c2 *netlist.Circuit, res *Result) (Verdict, []map[string]bool) {
+	inVar := make(map[string]int)
+	var inNames []string
+	for _, id := range c1.Inputs {
+		name := c1.Nodes[id].Name
+		inVar[name] = m.AddVar()
+		inNames = append(inNames, name)
+	}
+	for i, id := range c2.Inputs {
+		name := c2.Nodes[id].Name
+		if _, ok := inVar[name]; !ok {
+			inVar[name] = inVar[c1.Nodes[c1.Inputs[i]].Name]
+		}
+	}
+	m1, err := buildMachine(m, c1, inVar)
+	if err != nil {
+		panic(bdd.ErrNodeLimit)
+	}
+	m2, err := buildMachine(m, c2, inVar)
+	if err != nil {
+		panic(bdd.ErrNodeLimit)
+	}
+	bad := bdd.False
+	for i := range m1.outs {
+		bad = m.Or(bad, m.Xor(m1.outs[i], m2.outs[i]))
+	}
+	trans := bdd.True
+	for i := range m1.next {
+		trans = m.And(trans, m.Xnor(m.Var(m1.nextVar[i]), m1.next[i]))
+	}
+	for i := range m2.next {
+		trans = m.And(trans, m.Xnor(m.Var(m2.nextVar[i]), m2.next[i]))
+	}
+	var stateVars []int
+	stateVars = append(stateVars, m1.current...)
+	stateVars = append(stateVars, m2.current...)
+	var quantVars []int
+	for _, v := range inVar {
+		quantVars = append(quantVars, v)
+	}
+	quantVars = append(quantVars, stateVars...)
+	cube := m.CubeVars(dedup(quantVars))
+	sub := make(map[int]bdd.Ref)
+	subBack := make(map[int]bdd.Ref) // current -> next (for preimage constraint)
+	for i := range m1.current {
+		sub[m1.nextVar[i]] = m.Var(m1.current[i])
+		subBack[m1.current[i]] = m.Var(m1.nextVar[i])
+	}
+	for i := range m2.current {
+		sub[m2.nextVar[i]] = m.Var(m2.current[i])
+		subBack[m2.current[i]] = m.Var(m2.nextVar[i])
+	}
+
+	init := bdd.True
+	for _, v := range stateVars {
+		init = m.And(init, m.NVar(v))
+	}
+
+	rings := []bdd.Ref{init}
+	frontier := init
+	reached := init
+	hit := -1
+	for {
+		if m.And(frontier, bad) != bdd.False {
+			hit = len(rings) - 1
+			break
+		}
+		res.Iterations++
+		img := m.VecCompose(m.AndExists(frontier, trans, cube), sub)
+		newStates := m.And(img, reached.Not())
+		if newStates == bdd.False {
+			break
+		}
+		reached = m.Or(reached, newStates)
+		frontier = newStates
+		rings = append(rings, newStates)
+	}
+	if hit < 0 {
+		nState := len(stateVars)
+		res.States = m.SatCount(reached, m.NumVars()) / pow2(m.NumVars()-nState)
+		return Equivalent, nil
+	}
+
+	// Backward walk: pick a bad state in ring[hit], then per step find
+	// (state in ring[t-1], input) reaching the current target.
+	target := m.And(rings[hit], bad)
+	targetState := pickState(m, target, stateVars)
+	var seq []map[string]bool
+
+	// Inputs at the failing cycle itself: any assignment making `bad`
+	// true at targetState.
+	lastIn := m.And(withState(m, bad, targetState, stateVars), bdd.True)
+	finalInputs := pickInputs(m, lastIn, inVar, inNames)
+
+	for t := hit; t > 0; t-- {
+		// Constraint: current state in ring[t-1], next state == target.
+		tgtNext := bdd.True
+		for v, val := range targetState {
+			lit := subBack[v]
+			if !val {
+				lit = lit.Not()
+			}
+			tgtNext = m.And(tgtNext, lit)
+		}
+		rel := m.And(m.And(rings[t-1], trans), tgtNext)
+		if rel == bdd.False {
+			panic(bdd.ErrNodeLimit) // internal inconsistency; degrade to blowup
+		}
+		assign := m.AnySat(rel)
+		step := make(map[string]bool, len(inNames))
+		for _, n := range inNames {
+			step[n] = assign[inVar[n]]
+		}
+		seq = append([]map[string]bool{step}, seq...)
+		// New target: the chosen predecessor state.
+		newTarget := make(map[int]bool, len(stateVars))
+		for _, v := range stateVars {
+			newTarget[v] = assign[v]
+		}
+		targetState = newTarget
+	}
+	seq = append(seq, finalInputs)
+	return Inequivalent, seq
+}
+
+// pickState extracts one concrete assignment of the state variables from
+// a nonempty set.
+func pickState(m *bdd.Manager, set bdd.Ref, stateVars []int) map[int]bool {
+	assign := m.AnySat(set)
+	out := make(map[int]bool, len(stateVars))
+	for _, v := range stateVars {
+		out[v] = assign[v]
+	}
+	return out
+}
+
+// withState cofactors f by a concrete state assignment.
+func withState(m *bdd.Manager, f bdd.Ref, state map[int]bool, stateVars []int) bdd.Ref {
+	for _, v := range stateVars {
+		f = m.Cofactor(f, v, state[v])
+	}
+	return f
+}
+
+func pickInputs(m *bdd.Manager, f bdd.Ref, inVar map[string]int, names []string) map[string]bool {
+	assign := m.AnySat(f)
+	out := make(map[string]bool, len(names))
+	for _, n := range names {
+		out[n] = assign[inVar[n]]
+	}
+	return out
+}

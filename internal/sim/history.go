@@ -1,0 +1,152 @@
+package sim
+
+import (
+	"math/rand"
+
+	"seqver/internal/netlist"
+)
+
+// This file implements the paper's equivalence notion as an executable
+// oracle with the power-up semantics that Theorem 5.1 and Figure 1
+// actually require: the power-up value of a latch is not an independent
+// free value per latch, but the evaluation of its input cone over a
+// phantom input history before time 0. (Figure 1's two circuits are only
+// equivalent under this reading: two latches fed from the same signal
+// power up CORRELATED.) Nondeterminism therefore enters only through
+// phantom primary inputs — exactly the variables a(t-k) of the CBF — plus
+// whatever initial state survives the phantom window in circuits with
+// feedback or load-enabled latches.
+
+// hasFeedbackOrEnables reports whether the phantom window alone
+// determines the state: true exactly for acyclic circuits whose latches
+// are all regular (a window of length >= latch count flushes everything).
+func flushable(c *netlist.Circuit) bool {
+	if !c.IsRegular() {
+		return false
+	}
+	// Acyclicity including latch data edges.
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make([]uint8, len(c.Nodes))
+	var rec func(id int) bool
+	rec = func(id int) bool {
+		switch color[id] {
+		case gray:
+			return false
+		case black:
+			return true
+		}
+		color[id] = gray
+		for _, f := range c.Nodes[id].Fanins {
+			if !rec(f) {
+				return false
+			}
+		}
+		color[id] = black
+		return true
+	}
+	for id := range c.Nodes {
+		if !rec(id) {
+			return false
+		}
+	}
+	return true
+}
+
+// HistoryEquivalent checks the paper's exact 3-valued equivalence of two
+// circuits (shared input/output interface, matched positionally) under
+// the phantom-history power-up semantics, by Monte-Carlo sampling:
+//
+//   - Both circuits see the same random phantom prefix followed by the
+//     same random input sequence.
+//   - For flushable circuits (acyclic, regular latches) the prefix fully
+//     determines the state, so traces are compared directly.
+//   - Otherwise residual nondeterminism (unflushed feedback state, never
+//     -enabled latches) is merged into 3-valued traces per circuit by
+//     enumerating or sampling initial states, and the merged traces are
+//     compared.
+//
+// A false result is definitive and returns the full witness sequence
+// (prefix + suffix); a true result means no counterexample was found.
+func HistoryEquivalent(c1, c2 *netlist.Circuit, trials, length int, rng *rand.Rand) (bool, [][]bool) {
+	if len(c1.Inputs) != len(c2.Inputs) || len(c1.Outputs) != len(c2.Outputs) {
+		return false, nil
+	}
+	s1, s2 := New(c1), New(c2)
+	prefixLen := len(c1.Latches)
+	if l := len(c2.Latches); l > prefixLen {
+		prefixLen = l
+	}
+	prefixLen += 2
+	f1, f2 := flushable(c1), flushable(c2)
+
+	for trial := 0; trial < trials; trial++ {
+		full := s1.RandomSequence(prefixLen+length, rng)
+		if f1 && f2 {
+			o1 := s1.Run(full, make(State, len(c1.Latches)))
+			o2 := s2.Run(full, make(State, len(c2.Latches)))
+			for t := prefixLen; t < len(full); t++ {
+				for i := range o1[t] {
+					if o1[t][i] != o2[t][i] {
+						return false, full
+					}
+				}
+			}
+			continue
+		}
+		m1 := mergedHistoryOutputs(s1, full, prefixLen, rng)
+		m2 := mergedHistoryOutputs(s2, full, prefixLen, rng)
+		if !Equal3(m1, m2) {
+			return false, full
+		}
+	}
+	return true, nil
+}
+
+// mergedHistoryOutputs runs the full sequence from every (or many
+// sampled) initial states and merges the post-prefix output traces into a
+// 3-valued trace.
+func mergedHistoryOutputs(s *Simulator, full [][]bool, prefixLen int, rng *rand.Rand) [][]Val3 {
+	var merged [][]Val3
+	apply := func(st State) {
+		outs := s.Run(full, st)
+		suffix := outs[prefixLen:]
+		if merged == nil {
+			merged = make([][]Val3, len(suffix))
+			for t := range suffix {
+				merged[t] = make([]Val3, len(suffix[t]))
+				for i, b := range suffix[t] {
+					merged[t][i] = FromBool(b)
+				}
+			}
+			return
+		}
+		for t := range suffix {
+			for i, b := range suffix[t] {
+				if merged[t][i] != VX && merged[t][i] != FromBool(b) {
+					merged[t][i] = VX
+				}
+			}
+		}
+	}
+	nl := len(s.C.Latches)
+	if nl <= 12 {
+		for v := uint64(0); v < 1<<uint(nl); v++ {
+			apply(s.StateFromUint(v))
+		}
+	} else {
+		apply(make(State, nl))
+		all1 := make(State, nl)
+		for i := range all1 {
+			all1[i] = true
+		}
+		apply(all1)
+		for i := 0; i < 64; i++ {
+			apply(s.RandomState(rng))
+		}
+	}
+	return merged
+}

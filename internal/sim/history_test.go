@@ -1,0 +1,127 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"seqver/internal/netlist"
+)
+
+func TestFlushable(t *testing.T) {
+	// Acyclic regular pipeline: flushable.
+	p := netlist.New("p")
+	in := p.AddInput("i")
+	l := p.AddLatch("l", in)
+	p.AddOutput("o", l)
+	if !flushable(p) {
+		t.Fatal("pipeline should be flushable")
+	}
+	// Feedback: not flushable.
+	fb := netlist.New("fb")
+	a := fb.AddInput("a")
+	lf := fb.AddLatch("lf", 0)
+	g := fb.AddGate("g", netlist.OpXor, lf, a)
+	fb.SetLatchData(lf, g)
+	fb.AddOutput("o", lf)
+	if flushable(fb) {
+		t.Fatal("feedback circuit reported flushable")
+	}
+	// Enabled latch: not flushable (enable may never fire).
+	en := netlist.New("en")
+	d := en.AddInput("d")
+	e := en.AddInput("e")
+	q := en.AddEnabledLatch("q", d, e)
+	en.AddOutput("o", q)
+	if flushable(en) {
+		t.Fatal("enabled-latch circuit reported flushable")
+	}
+}
+
+func TestHistoryEquivalentFlushablePath(t *testing.T) {
+	mk := func(extraInv bool) *netlist.Circuit {
+		c := netlist.New("m")
+		a := c.AddInput("a")
+		src := a
+		if extraInv {
+			n1 := c.AddGate("n1", netlist.OpNot, a)
+			src = c.AddGate("n2", netlist.OpNot, n1)
+		}
+		l := c.AddLatch("l", src)
+		c.AddOutput("o", l)
+		return c
+	}
+	rng := rand.New(rand.NewSource(307))
+	eq, _ := HistoryEquivalent(mk(false), mk(true), 10, 5, rng)
+	if !eq {
+		t.Fatal("double inversion should be equivalent")
+	}
+	// Single inversion is not.
+	bad := netlist.New("bad")
+	a := bad.AddInput("a")
+	n := bad.AddGate("n", netlist.OpNot, a)
+	l := bad.AddLatch("l", n)
+	bad.AddOutput("o", l)
+	eq, witness := HistoryEquivalent(mk(false), bad, 10, 5, rng)
+	if eq {
+		t.Fatal("inverted circuit reported equivalent")
+	}
+	if witness == nil {
+		t.Fatal("no witness")
+	}
+}
+
+func TestHistoryEquivalentMergedPath(t *testing.T) {
+	// Cyclic circuits exercise the merged-outputs branch: a toggle and
+	// its complement are equivalent (both forever ⊥ on the output).
+	mk := func(invertOut bool) *netlist.Circuit {
+		c := netlist.New("t")
+		en := c.AddInput("en")
+		l := c.AddLatch("l", 0)
+		g := c.AddGate("g", netlist.OpXor, l, en)
+		c.SetLatchData(l, g)
+		out := l
+		if invertOut {
+			out = c.AddGate("inv", netlist.OpNot, l)
+		}
+		c.AddOutput("o", out)
+		return c
+	}
+	rng := rand.New(rand.NewSource(311))
+	eq, _ := HistoryEquivalent(mk(false), mk(true), 10, 6, rng)
+	if !eq {
+		t.Fatal("complemented toggle should be exact-3-valued equivalent (both always ⊥)")
+	}
+}
+
+func TestHistoryEquivalentInterfaceMismatch(t *testing.T) {
+	a := netlist.New("a")
+	a.AddOutput("o", a.AddInput("x"))
+	b := netlist.New("b")
+	b.AddInput("x")
+	b.AddInput("y")
+	b.AddOutput("o", b.Inputs[0])
+	rng := rand.New(rand.NewSource(313))
+	if eq, _ := HistoryEquivalent(a, b, 1, 1, rng); eq {
+		t.Fatal("interface mismatch reported equivalent")
+	}
+}
+
+func TestMergedHistoryOutputsSampledBranch(t *testing.T) {
+	// A circuit with > 12 latches takes the sampled branch.
+	c := netlist.New("wide")
+	in := c.AddInput("i")
+	cur := in
+	for i := 0; i < 14; i++ {
+		cur = c.AddLatch("", cur)
+	}
+	// Feedback latch to defeat flushability.
+	fb := c.AddLatch("fb", 0)
+	g := c.AddGate("g", netlist.OpOr, fb, cur)
+	c.SetLatchData(fb, g)
+	c.AddOutput("o", g)
+	rng := rand.New(rand.NewSource(317))
+	eq, _ := HistoryEquivalent(c, c.Clone(), 3, 4, rng)
+	if !eq {
+		t.Fatal("clone inequivalent")
+	}
+}

@@ -1,0 +1,471 @@
+// Package sim provides clocked simulation of netlist circuits: exact
+// two-valued simulation from a known power-up state, conservative
+// three-valued (0/1/X) simulation, and the paper's exact 3-valued output
+// semantics obtained by enumerating or sampling power-up states
+// (Section 3.2, Definition 1 of Ranjan et al.).
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"seqver/internal/netlist"
+)
+
+// Simulator evaluates one circuit repeatedly; it caches the topological
+// order so stepping is linear in circuit size.
+type Simulator struct {
+	C     *netlist.Circuit
+	order []int
+}
+
+// New builds a simulator. It panics if the circuit has a combinational
+// cycle (validate with Check first).
+func New(c *netlist.Circuit) *Simulator {
+	order, err := c.TopoOrder()
+	if err != nil {
+		panic(err)
+	}
+	return &Simulator{C: c, order: order}
+}
+
+// State holds one Boolean value per latch, indexed like C.Latches.
+type State []bool
+
+// RandomState draws a uniform power-up state.
+func (s *Simulator) RandomState(rng *rand.Rand) State {
+	st := make(State, len(s.C.Latches))
+	for i := range st {
+		st[i] = rng.Intn(2) == 1
+	}
+	return st
+}
+
+// StateFromUint packs the low bits of v into a state (latch i gets bit i).
+// Panics if the circuit has more than 63 latches.
+func (s *Simulator) StateFromUint(v uint64) State {
+	if len(s.C.Latches) > 63 {
+		panic("sim: too many latches for StateFromUint")
+	}
+	st := make(State, len(s.C.Latches))
+	for i := range st {
+		st[i] = v&(1<<uint(i)) != 0
+	}
+	return st
+}
+
+// eval computes all node values for one cycle given primary-input values
+// (indexed like C.Inputs) and the current latch state.
+func (s *Simulator) eval(in []bool, st State) []bool {
+	c := s.C
+	if len(in) != len(c.Inputs) {
+		panic(fmt.Sprintf("sim: %d input values for %d inputs", len(in), len(c.Inputs)))
+	}
+	val := make([]bool, len(c.Nodes))
+	for i, id := range c.Inputs {
+		val[id] = in[i]
+	}
+	for i, id := range c.Latches {
+		val[id] = st[i]
+	}
+	var fin []bool
+	for _, id := range s.order {
+		n := c.Nodes[id]
+		if n.Kind != netlist.KindGate {
+			continue
+		}
+		fin = fin[:0]
+		for _, f := range n.Fanins {
+			fin = append(fin, val[f])
+		}
+		val[id] = netlist.EvalGate(n, fin)
+	}
+	return val
+}
+
+// Step applies one clock cycle: it evaluates the combinational logic on
+// (in, st), samples the primary outputs, and computes the next latch state.
+// A load-enabled latch updates only when its enable evaluates to 1.
+func (s *Simulator) Step(in []bool, st State) (out []bool, next State) {
+	c := s.C
+	val := s.eval(in, st)
+	out = make([]bool, len(c.Outputs))
+	for i, o := range c.Outputs {
+		out[i] = val[o.Node]
+	}
+	next = make(State, len(c.Latches))
+	for i, id := range c.Latches {
+		n := c.Nodes[id]
+		if n.Enable == netlist.NoEnable || val[n.Enable] {
+			next[i] = val[n.Data()]
+		} else {
+			next[i] = st[i]
+		}
+	}
+	return out, next
+}
+
+// Run applies an input sequence starting from st and returns the output
+// vector observed at each cycle.
+func (s *Simulator) Run(seq [][]bool, st State) [][]bool {
+	outs := make([][]bool, len(seq))
+	cur := append(State(nil), st...)
+	for t, in := range seq {
+		outs[t], cur = s.Step(in, cur)
+	}
+	return outs
+}
+
+// Val3 is a three-valued logic value.
+type Val3 uint8
+
+const (
+	V0 Val3 = iota
+	V1
+	VX
+)
+
+func (v Val3) String() string {
+	switch v {
+	case V0:
+		return "0"
+	case V1:
+		return "1"
+	}
+	return "X"
+}
+
+// FromBool lifts a Boolean into Val3.
+func FromBool(b bool) Val3 {
+	if b {
+		return V1
+	}
+	return V0
+}
+
+func and3(a, b Val3) Val3 {
+	if a == V0 || b == V0 {
+		return V0
+	}
+	if a == V1 && b == V1 {
+		return V1
+	}
+	return VX
+}
+
+func or3(a, b Val3) Val3 {
+	if a == V1 || b == V1 {
+		return V1
+	}
+	if a == V0 && b == V0 {
+		return V0
+	}
+	return VX
+}
+
+func not3(a Val3) Val3 {
+	switch a {
+	case V0:
+		return V1
+	case V1:
+		return V0
+	}
+	return VX
+}
+
+func xor3(a, b Val3) Val3 {
+	if a == VX || b == VX {
+		return VX
+	}
+	if a != b {
+		return V1
+	}
+	return V0
+}
+
+// EvalGate3 evaluates a gate in conservative three-valued logic. Because it
+// cannot correlate X values, x AND NOT x yields X, not 0 — this is exactly
+// the conservatism the paper's exact 3-valued equivalence removes (Fig. 1).
+func EvalGate3(n *netlist.Node, in []Val3) Val3 {
+	switch n.Op {
+	case netlist.OpConst0:
+		return V0
+	case netlist.OpConst1:
+		return V1
+	case netlist.OpBuf:
+		return in[0]
+	case netlist.OpNot:
+		return not3(in[0])
+	case netlist.OpAnd, netlist.OpNand:
+		v := V1
+		for _, b := range in {
+			v = and3(v, b)
+		}
+		if n.Op == netlist.OpNand {
+			return not3(v)
+		}
+		return v
+	case netlist.OpOr, netlist.OpNor:
+		v := V0
+		for _, b := range in {
+			v = or3(v, b)
+		}
+		if n.Op == netlist.OpNor {
+			return not3(v)
+		}
+		return v
+	case netlist.OpXor, netlist.OpXnor:
+		v := V0
+		for _, b := range in {
+			v = xor3(v, b)
+		}
+		if n.Op == netlist.OpXnor {
+			return not3(v)
+		}
+		return v
+	case netlist.OpMux:
+		switch in[0] {
+		case V1:
+			return in[1]
+		case V0:
+			return in[2]
+		default:
+			if in[1] == in[2] && in[1] != VX {
+				return in[1]
+			}
+			return VX
+		}
+	case netlist.OpTable:
+		// Conservative cover evaluation: 1 if some cube definitely
+		// matches, 0 if no cube possibly matches, else X.
+		possible := false
+		for _, cu := range n.Cover {
+			definite, maybe := true, true
+			for i := 0; i < len(cu); i++ {
+				switch cu[i] {
+				case '0':
+					if in[i] == V1 {
+						definite, maybe = false, false
+					} else if in[i] == VX {
+						definite = false
+					}
+				case '1':
+					if in[i] == V0 {
+						definite, maybe = false, false
+					} else if in[i] == VX {
+						definite = false
+					}
+				}
+				if !maybe {
+					break
+				}
+			}
+			if definite {
+				return V1
+			}
+			if maybe {
+				possible = true
+			}
+		}
+		if possible {
+			return VX
+		}
+		return V0
+	}
+	panic("sim: EvalGate3 on " + n.Op.String())
+}
+
+// State3 holds one three-valued value per latch.
+type State3 []Val3
+
+// AllX returns the fully unknown power-up state.
+func (s *Simulator) AllX() State3 {
+	st := make(State3, len(s.C.Latches))
+	for i := range st {
+		st[i] = VX
+	}
+	return st
+}
+
+// Step3 performs one cycle of conservative three-valued simulation.
+// An enabled latch with an X enable takes the join of hold and load.
+func (s *Simulator) Step3(in []Val3, st State3) (out []Val3, next State3) {
+	c := s.C
+	val := make([]Val3, len(c.Nodes))
+	for i, id := range c.Inputs {
+		val[id] = in[i]
+	}
+	for i, id := range c.Latches {
+		val[id] = st[i]
+	}
+	var fin []Val3
+	for _, id := range s.order {
+		n := c.Nodes[id]
+		if n.Kind != netlist.KindGate {
+			continue
+		}
+		fin = fin[:0]
+		for _, f := range n.Fanins {
+			fin = append(fin, val[f])
+		}
+		val[id] = EvalGate3(n, fin)
+	}
+	out = make([]Val3, len(c.Outputs))
+	for i, o := range c.Outputs {
+		out[i] = val[o.Node]
+	}
+	next = make(State3, len(c.Latches))
+	for i, id := range c.Latches {
+		n := c.Nodes[id]
+		switch {
+		case n.Enable == netlist.NoEnable:
+			next[i] = val[n.Data()]
+		case val[n.Enable] == V1:
+			next[i] = val[n.Data()]
+		case val[n.Enable] == V0:
+			next[i] = st[i]
+		default: // X enable: merge
+			if st[i] == val[n.Data()] {
+				next[i] = st[i]
+			} else {
+				next[i] = VX
+			}
+		}
+	}
+	return out, next
+}
+
+// Run3 performs conservative three-valued simulation from the all-X
+// power-up state.
+func (s *Simulator) Run3(seq [][]Val3) [][]Val3 {
+	outs := make([][]Val3, len(seq))
+	st := s.AllX()
+	for t, in := range seq {
+		outs[t], st = s.Step3(in, st)
+	}
+	return outs
+}
+
+// ExactOutputs computes the paper's exact 3-valued output function
+// O_C(π) for an input sequence π by enumerating every power-up state:
+// output o at time t is 0 or 1 if all power-up states agree, else X (⊥).
+// Only feasible for small latch counts; see SampledOutputs for larger
+// circuits.
+func (s *Simulator) ExactOutputs(seq [][]bool) [][]Val3 {
+	nl := len(s.C.Latches)
+	if nl > 20 {
+		panic("sim: ExactOutputs limited to 20 latches")
+	}
+	return s.mergedOutputs(seq, func(yield func(State)) {
+		for v := uint64(0); v < 1<<uint(nl); v++ {
+			yield(s.StateFromUint(v))
+		}
+	})
+}
+
+// SampledOutputs approximates ExactOutputs by sampling n random power-up
+// states (always including all-zeros and all-ones). The result is exact
+// when it reports 0/1 disagreement (a counterexample is a counterexample)
+// and probabilistic when it reports agreement.
+func (s *Simulator) SampledOutputs(seq [][]bool, n int, rng *rand.Rand) [][]Val3 {
+	return s.mergedOutputs(seq, func(yield func(State)) {
+		all0 := make(State, len(s.C.Latches))
+		yield(all0)
+		all1 := make(State, len(s.C.Latches))
+		for i := range all1 {
+			all1[i] = true
+		}
+		yield(all1)
+		for i := 0; i < n; i++ {
+			yield(s.RandomState(rng))
+		}
+	})
+}
+
+func (s *Simulator) mergedOutputs(seq [][]bool, states func(func(State))) [][]Val3 {
+	merged := make([][]Val3, len(seq))
+	first := true
+	states(func(st State) {
+		outs := s.Run(seq, st)
+		if first {
+			for t := range outs {
+				merged[t] = make([]Val3, len(outs[t]))
+				for i, b := range outs[t] {
+					merged[t][i] = FromBool(b)
+				}
+			}
+			first = false
+			return
+		}
+		for t := range outs {
+			for i, b := range outs[t] {
+				if merged[t][i] != VX && merged[t][i] != FromBool(b) {
+					merged[t][i] = VX
+				}
+			}
+		}
+	})
+	return merged
+}
+
+// RandomSequence draws a uniform input sequence of the given length for
+// the simulator's circuit.
+func (s *Simulator) RandomSequence(length int, rng *rand.Rand) [][]bool {
+	seq := make([][]bool, length)
+	for t := range seq {
+		v := make([]bool, len(s.C.Inputs))
+		for i := range v {
+			v[i] = rng.Intn(2) == 1
+		}
+		seq[t] = v
+	}
+	return seq
+}
+
+// Equal3 reports whether two 3-valued output traces are identical.
+func Equal3(a, b [][]Val3) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for t := range a {
+		if len(a[t]) != len(b[t]) {
+			return false
+		}
+		for i := range a[t] {
+			if a[t][i] != b[t][i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// ExactEquivalent checks exact 3-valued equivalence of two circuits on a
+// batch of random input sequences by power-up-state enumeration. It is a
+// Monte-Carlo oracle used by the test suite: a false result is definitive
+// (it found a distinguishing sequence); a true result means no
+// counterexample was found.
+func ExactEquivalent(c1, c2 *netlist.Circuit, trials, length int, rng *rand.Rand) (bool, [][]bool) {
+	s1, s2 := New(c1), New(c2)
+	if len(c1.Inputs) != len(c2.Inputs) || len(c1.Outputs) != len(c2.Outputs) {
+		return false, nil
+	}
+	for i := 0; i < trials; i++ {
+		seq := s1.RandomSequence(length, rng)
+		var o1, o2 [][]Val3
+		if len(c1.Latches) <= 14 {
+			o1 = s1.ExactOutputs(seq)
+		} else {
+			o1 = s1.SampledOutputs(seq, 64, rng)
+		}
+		if len(c2.Latches) <= 14 {
+			o2 = s2.ExactOutputs(seq)
+		} else {
+			o2 = s2.SampledOutputs(seq, 64, rng)
+		}
+		if !Equal3(o1, o2) {
+			return false, seq
+		}
+	}
+	return true, nil
+}

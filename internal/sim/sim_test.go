@@ -1,0 +1,317 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"seqver/internal/netlist"
+)
+
+// counter builds a 1-bit toggle counter: l' = l XOR en, out = l.
+func counter() *netlist.Circuit {
+	c := netlist.New("counter")
+	en := c.AddInput("en")
+	l := c.AddLatch("l", 0)
+	g := c.AddGate("g", netlist.OpXor, l, en)
+	c.SetLatchData(l, g)
+	c.AddOutput("o", l)
+	return c
+}
+
+func TestStepToggle(t *testing.T) {
+	s := New(counter())
+	st := State{false}
+	var out []bool
+	out, st = s.Step([]bool{true}, st)
+	if out[0] != false || st[0] != true {
+		t.Fatalf("cycle 1: out=%v next=%v", out, st)
+	}
+	out, st = s.Step([]bool{true}, st)
+	if out[0] != true || st[0] != false {
+		t.Fatalf("cycle 2: out=%v next=%v", out, st)
+	}
+	out, st = s.Step([]bool{false}, st)
+	if out[0] != false || st[0] != false {
+		t.Fatalf("cycle 3 (hold): out=%v next=%v", out, st)
+	}
+}
+
+func TestRunLength(t *testing.T) {
+	s := New(counter())
+	seq := [][]bool{{true}, {false}, {true}}
+	outs := s.Run(seq, State{false})
+	if len(outs) != 3 {
+		t.Fatalf("got %d outputs", len(outs))
+	}
+	want := []bool{false, true, true}
+	for i := range want {
+		if outs[i][0] != want[i] {
+			t.Fatalf("outs=%v", outs)
+		}
+	}
+}
+
+func TestEnabledLatchHolds(t *testing.T) {
+	c := netlist.New("en")
+	d := c.AddInput("d")
+	e := c.AddInput("e")
+	q := c.AddEnabledLatch("q", d, e)
+	c.AddOutput("o", q)
+	s := New(c)
+	st := State{false}
+	// load 1
+	_, st = s.Step([]bool{true, true}, st)
+	if !st[0] {
+		t.Fatal("enabled load failed")
+	}
+	// hold despite d=0
+	_, st = s.Step([]bool{false, false}, st)
+	if !st[0] {
+		t.Fatal("latch did not hold with enable low")
+	}
+	// load 0
+	_, st = s.Step([]bool{false, true}, st)
+	if st[0] {
+		t.Fatal("enabled load of 0 failed")
+	}
+}
+
+func TestThreeValuedOps(t *testing.T) {
+	if and3(VX, V0) != V0 || and3(VX, V1) != VX || or3(VX, V1) != V1 ||
+		or3(VX, V0) != VX || not3(VX) != VX || xor3(VX, V0) != VX {
+		t.Fatal("3-valued operator tables wrong")
+	}
+}
+
+func TestEvalGate3Controlling(t *testing.T) {
+	and := &netlist.Node{Op: netlist.OpAnd, Fanins: []int{0, 1}}
+	if EvalGate3(and, []Val3{VX, V0}) != V0 {
+		t.Fatal("AND with controlling 0 must be 0")
+	}
+	or := &netlist.Node{Op: netlist.OpOr, Fanins: []int{0, 1}}
+	if EvalGate3(or, []Val3{VX, V1}) != V1 {
+		t.Fatal("OR with controlling 1 must be 1")
+	}
+	mux := &netlist.Node{Op: netlist.OpMux, Fanins: []int{0, 1, 2}}
+	if EvalGate3(mux, []Val3{VX, V1, V1}) != V1 {
+		t.Fatal("MUX with agreeing data must ignore X select")
+	}
+	if EvalGate3(mux, []Val3{VX, V1, V0}) != VX {
+		t.Fatal("MUX with disagreeing data and X select must be X")
+	}
+}
+
+func TestEvalGate3Table(t *testing.T) {
+	n := &netlist.Node{Op: netlist.OpTable, Fanins: []int{0, 1}, Cover: []netlist.Cube{"1-"}}
+	if EvalGate3(n, []Val3{V1, VX}) != V1 {
+		t.Fatal("definite cube match must give 1")
+	}
+	if EvalGate3(n, []Val3{V0, VX}) != V0 {
+		t.Fatal("impossible cover must give 0")
+	}
+	if EvalGate3(n, []Val3{VX, V0}) != VX {
+		t.Fatal("possible-but-not-definite match must give X")
+	}
+}
+
+// figure1 builds the spirit of the paper's Figure 1: a latch value ANDed
+// with its own complement. Conservative 3-valued simulation reports X at
+// power-up; the exact semantics reports 0 because every concrete power-up
+// state gives 0.
+func figure1() *netlist.Circuit {
+	c := netlist.New("fig1a")
+	in := c.AddInput("i")
+	l := c.AddLatch("l", in)
+	nl := c.AddGate("nl", netlist.OpNot, l)
+	o := c.AddGate("o", netlist.OpAnd, l, nl)
+	c.AddOutput("o", o)
+	return c
+}
+
+func TestFigure1ConservatismOfThreeValuedSim(t *testing.T) {
+	s := New(figure1())
+	// Cycle 1 from all-X power-up: 3-valued sim reports X.
+	outs3 := s.Run3([][]Val3{{V0}})
+	if outs3[0][0] != VX {
+		t.Fatalf("3-valued sim gave %v, want X", outs3[0][0])
+	}
+	// Exact semantics: x AND NOT x == 0 for both power-up states.
+	outsE := s.ExactOutputs([][]bool{{false}})
+	if outsE[0][0] != V0 {
+		t.Fatalf("exact semantics gave %v, want 0", outsE[0][0])
+	}
+}
+
+func TestExactOutputsAgreementAfterDepth(t *testing.T) {
+	// Once the pipeline is full, exact outputs are binary.
+	c := netlist.New("pipe")
+	in := c.AddInput("i")
+	l1 := c.AddLatch("l1", in)
+	l2 := c.AddLatch("l2", l1)
+	c.AddOutput("o", l2)
+	s := New(c)
+	seq := [][]bool{{true}, {false}, {true}, {true}}
+	outs := s.ExactOutputs(seq)
+	// t=0,1: output depends on power-up => X. t>=2: equals in(t-2).
+	if outs[0][0] != VX || outs[1][0] != VX {
+		t.Fatalf("pre-fill outputs should be X: %v", outs)
+	}
+	if outs[2][0] != V1 || outs[3][0] != V0 {
+		t.Fatalf("post-fill outputs wrong: %v", outs)
+	}
+}
+
+func TestSampledOutputsFindsDisagreement(t *testing.T) {
+	// Output is the latch value itself: depends on power-up at t=0.
+	c := netlist.New("dir")
+	in := c.AddInput("i")
+	l := c.AddLatch("l", in)
+	c.AddOutput("o", l)
+	s := New(c)
+	rng := rand.New(rand.NewSource(1))
+	outs := s.SampledOutputs([][]bool{{true}}, 8, rng)
+	if outs[0][0] != VX {
+		t.Fatalf("sampled outputs missed power-up dependence: %v", outs)
+	}
+}
+
+func TestExactEquivalentPositive(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	eq, _ := ExactEquivalent(counter(), counter(), 8, 6, rng)
+	if !eq {
+		t.Fatal("identical circuits reported inequivalent")
+	}
+}
+
+func TestExactEquivalentNegative(t *testing.T) {
+	// delay(in) vs delay(not in): outputs resolve once the latch fills,
+	// and then differ. (Complementing the toggle counter would NOT work:
+	// its output never resolves power-up, so O(π)=⊥ for both circuits and
+	// they are exact-3-valued equivalent.)
+	mk := func(invert bool) *netlist.Circuit {
+		c := netlist.New("d")
+		in := c.AddInput("i")
+		src := in
+		if invert {
+			src = c.AddGate("n", netlist.OpNot, in)
+		}
+		l := c.AddLatch("l", src)
+		c.AddOutput("o", l)
+		return c
+	}
+	rng := rand.New(rand.NewSource(3))
+	eq, seq := ExactEquivalent(mk(false), mk(true), 8, 6, rng)
+	if eq {
+		t.Fatal("mutated circuit reported equivalent")
+	}
+	if seq == nil {
+		t.Fatal("no witness sequence returned")
+	}
+}
+
+func TestStep3EnableMerge(t *testing.T) {
+	c := netlist.New("en3")
+	d := c.AddInput("d")
+	e := c.AddInput("e")
+	q := c.AddEnabledLatch("q", d, e)
+	c.AddOutput("o", q)
+	s := New(c)
+	// X enable, load 1, held X -> next X.
+	_, next := s.Step3([]Val3{V1, VX}, State3{VX})
+	if next[0] != VX {
+		t.Fatalf("next=%v", next)
+	}
+	// X enable but hold == load -> definite.
+	_, next = s.Step3([]Val3{V1, VX}, State3{V1})
+	if next[0] != V1 {
+		t.Fatalf("next=%v, want 1 (hold==load)", next)
+	}
+}
+
+func TestRandomSequenceShape(t *testing.T) {
+	s := New(counter())
+	seq := s.RandomSequence(5, rand.New(rand.NewSource(4)))
+	if len(seq) != 5 || len(seq[0]) != 1 {
+		t.Fatalf("bad shape: %d x %d", len(seq), len(seq[0]))
+	}
+}
+
+func TestRun3Sequence(t *testing.T) {
+	// Pipeline fills with definite values as input flows in.
+	c := netlist.New("p3")
+	in := c.AddInput("i")
+	l1 := c.AddLatch("l1", in)
+	l2 := c.AddLatch("l2", l1)
+	c.AddOutput("o", l2)
+	s := New(c)
+	outs := s.Run3([][]Val3{{V1}, {V0}, {V1}})
+	if outs[0][0] != VX || outs[1][0] != VX {
+		t.Fatalf("pre-fill should be X: %v", outs)
+	}
+	if outs[2][0] != V1 {
+		t.Fatalf("cycle 2 should be the cycle-0 input: %v", outs)
+	}
+}
+
+func TestEvalGate3MorePrimitives(t *testing.T) {
+	cases := []struct {
+		op   netlist.Op
+		in   []Val3
+		want Val3
+	}{
+		{netlist.OpConst0, nil, V0},
+		{netlist.OpConst1, nil, V1},
+		{netlist.OpBuf, []Val3{VX}, VX},
+		{netlist.OpNand, []Val3{V0, VX}, V1},
+		{netlist.OpNor, []Val3{VX, V1}, V0},
+		{netlist.OpNor, []Val3{V0, V0}, V1},
+		{netlist.OpXnor, []Val3{V1, V1}, V1},
+		{netlist.OpXnor, []Val3{VX, V1}, VX},
+	}
+	for _, tc := range cases {
+		n := &netlist.Node{Op: tc.op}
+		if got := EvalGate3(n, tc.in); got != tc.want {
+			t.Errorf("%v(%v) = %v, want %v", tc.op, tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestStateFromUintGuards(t *testing.T) {
+	s := New(counter())
+	st := s.StateFromUint(1)
+	if !st[0] {
+		t.Fatal("bit unpack wrong")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for >63 latches")
+		}
+	}()
+	wide := netlist.New("w")
+	in := wide.AddInput("i")
+	cur := in
+	for i := 0; i < 64; i++ {
+		cur = wide.AddLatch("", cur)
+	}
+	wide.AddOutput("o", cur)
+	New(wide).StateFromUint(0)
+}
+
+func TestEqual3Shapes(t *testing.T) {
+	a := [][]Val3{{V0, V1}}
+	if Equal3(a, [][]Val3{{V0}}) {
+		t.Fatal("row-length mismatch reported equal")
+	}
+	if Equal3(a, [][]Val3{{V0, V1}, {V0, V0}}) {
+		t.Fatal("length mismatch reported equal")
+	}
+	if !Equal3(a, [][]Val3{{V0, V1}}) {
+		t.Fatal("equal traces reported unequal")
+	}
+}
+
+func TestVal3String(t *testing.T) {
+	if V0.String() != "0" || V1.String() != "1" || VX.String() != "X" {
+		t.Fatal("Val3 strings wrong")
+	}
+}

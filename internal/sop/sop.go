@@ -1,0 +1,339 @@
+// Package sop implements two-level logic minimization over cube covers —
+// an espresso-lite with the classic EXPAND / IRREDUNDANT / REDUCE loop on
+// positional-cube covers. It backs the BLIF writer's cover cleanup and
+// the table-gate simplification pass of the synthesis script: SIS's
+// script.delay leans on two-level minimization ("simplify", "fx") that a
+// faithful substitute needs.
+package sop
+
+import (
+	"sort"
+	"strings"
+)
+
+// Cube is a positional cube over n variables: 2 bits per variable,
+// bit0 = covers value 0, bit1 = covers value 1 (both = don't care).
+// Stored as a byte per variable with values 0b01 ('0'), 0b10 ('1'),
+// 0b11 ('-'); 0b00 is the empty cube and never stored.
+type Cube []byte
+
+const (
+	pc0    byte = 0b01
+	pc1    byte = 0b10
+	pcDash byte = 0b11
+)
+
+// FromString parses "01-1"-style cube text.
+func FromString(s string) Cube {
+	c := make(Cube, len(s))
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '0':
+			c[i] = pc0
+		case '1':
+			c[i] = pc1
+		case '-':
+			c[i] = pcDash
+		default:
+			panic("sop: bad cube char " + string(s[i]))
+		}
+	}
+	return c
+}
+
+// String renders the cube in BLIF notation.
+func (c Cube) String() string {
+	var sb strings.Builder
+	for _, b := range c {
+		switch b {
+		case pc0:
+			sb.WriteByte('0')
+		case pc1:
+			sb.WriteByte('1')
+		default:
+			sb.WriteByte('-')
+		}
+	}
+	return sb.String()
+}
+
+// Contains reports whether c covers d (c is a superset cube).
+func (c Cube) Contains(d Cube) bool {
+	for i := range c {
+		if c[i]&d[i] != d[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Covers reports whether the cube covers the minterm m (bit i of m =
+// value of variable i).
+func (c Cube) Covers(m int) bool {
+	for i := range c {
+		bit := byte(pc0)
+		if m&(1<<uint(i)) != 0 {
+			bit = pc1
+		}
+		if c[i]&bit == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Cover is a set of cubes (a sum of products).
+type Cover []Cube
+
+// FromStrings builds a cover from BLIF-style cube rows.
+func FromStrings(rows []string) Cover {
+	out := make(Cover, len(rows))
+	for i, r := range rows {
+		out[i] = FromString(r)
+	}
+	return out
+}
+
+// Strings renders the cover.
+func (cv Cover) Strings() []string {
+	out := make([]string, len(cv))
+	for i, c := range cv {
+		out[i] = c.String()
+	}
+	return out
+}
+
+// Eval evaluates the cover on a minterm.
+func (cv Cover) Eval(m int) bool {
+	for _, c := range cv {
+		if c.Covers(m) {
+			return true
+		}
+	}
+	return false
+}
+
+// Equal reports functional equality of two covers over n variables.
+func Equal(a, b Cover, n int) bool {
+	for m := 0; m < 1<<uint(n); m++ {
+		if a.Eval(m) != b.Eval(m) {
+			return false
+		}
+	}
+	return true
+}
+
+// Minimize returns a smaller (never larger) cover computing the same
+// function: single-cube containment removal, iterated consensus-free
+// EXPAND against the off-set, IRREDUNDANT, and distance-1 merging. The
+// off-set is computed by enumeration, so this is intended for the narrow
+// covers of netlist table gates (n <= 10 or so).
+func Minimize(cv Cover, n int) Cover {
+	if len(cv) == 0 || n > 16 {
+		return cv
+	}
+	// Onset/offset bitmaps by enumeration.
+	size := 1 << uint(n)
+	onset := make([]bool, size)
+	for m := 0; m < size; m++ {
+		onset[m] = cv.Eval(m)
+	}
+
+	work := dedupe(cv)
+	changed := true
+	for changed {
+		work = expand(work, onset, n)
+		work = containmentPrune(work)
+		before := len(work)
+		work = irredundant(work, onset, n)
+		work = mergeDistanceOne(work, onset, n)
+		changed = len(work) < before
+	}
+	// Safety: the result must still compute the function (cheap check,
+	// enumeration is already paid for).
+	for m := 0; m < size; m++ {
+		if work.Eval(m) != onset[m] {
+			return cv // should not happen; fail safe
+		}
+	}
+	if len(work) > len(cv) {
+		return cv
+	}
+	return work
+}
+
+func dedupe(cv Cover) Cover {
+	seen := map[string]bool{}
+	out := make(Cover, 0, len(cv))
+	for _, c := range cv {
+		k := c.String()
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, append(Cube(nil), c...))
+		}
+	}
+	return out
+}
+
+// expand raises each literal to don't-care when the expanded cube stays
+// inside the onset.
+func expand(cv Cover, onset []bool, n int) Cover {
+	out := make(Cover, len(cv))
+	for i, c := range cv {
+		e := append(Cube(nil), c...)
+		for v := 0; v < n; v++ {
+			if e[v] == pcDash {
+				continue
+			}
+			old := e[v]
+			e[v] = pcDash
+			if !cubeInOnset(e, onset, n) {
+				e[v] = old
+			}
+		}
+		out[i] = e
+	}
+	return out
+}
+
+func cubeInOnset(c Cube, onset []bool, n int) bool {
+	// Enumerate the cube's minterms.
+	var freeVars []int
+	base := 0
+	for v := 0; v < n; v++ {
+		switch c[v] {
+		case pc1:
+			base |= 1 << uint(v)
+		case pcDash:
+			freeVars = append(freeVars, v)
+		}
+	}
+	for mask := 0; mask < 1<<uint(len(freeVars)); mask++ {
+		m := base
+		for i, v := range freeVars {
+			if mask&(1<<uint(i)) != 0 {
+				m |= 1 << uint(v)
+			}
+		}
+		if !onset[m] {
+			return false
+		}
+	}
+	return true
+}
+
+// containmentPrune drops cubes contained in another cube.
+func containmentPrune(cv Cover) Cover {
+	// Larger cubes (more dashes) first so they absorb smaller ones.
+	sorted := append(Cover(nil), cv...)
+	sort.Slice(sorted, func(i, j int) bool { return dashes(sorted[i]) > dashes(sorted[j]) })
+	var out Cover
+	for _, c := range sorted {
+		absorbed := false
+		for _, k := range out {
+			if k.Contains(c) {
+				absorbed = true
+				break
+			}
+		}
+		if !absorbed {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+func dashes(c Cube) int {
+	n := 0
+	for _, b := range c {
+		if b == pcDash {
+			n++
+		}
+	}
+	return n
+}
+
+// irredundant removes cubes whose minterms are all covered by the rest.
+func irredundant(cv Cover, onset []bool, n int) Cover {
+	out := append(Cover(nil), cv...)
+	for i := 0; i < len(out); i++ {
+		rest := append(append(Cover(nil), out[:i]...), out[i+1:]...)
+		if coversAll(rest, out[i], n) {
+			out = rest
+			i--
+		}
+	}
+	return out
+}
+
+// coversAll reports whether the cover covers every minterm of cube c.
+func coversAll(cv Cover, c Cube, n int) bool {
+	var freeVars []int
+	base := 0
+	for v := 0; v < n; v++ {
+		switch c[v] {
+		case pc1:
+			base |= 1 << uint(v)
+		case pcDash:
+			freeVars = append(freeVars, v)
+		}
+	}
+	for mask := 0; mask < 1<<uint(len(freeVars)); mask++ {
+		m := base
+		for i, v := range freeVars {
+			if mask&(1<<uint(i)) != 0 {
+				m |= 1 << uint(v)
+			}
+		}
+		if !cv.Eval(m) {
+			return false
+		}
+	}
+	return true
+}
+
+// mergeDistanceOne combines cube pairs differing in exactly one
+// opposing literal when their union cube stays in the onset.
+func mergeDistanceOne(cv Cover, onset []bool, n int) Cover {
+	work := append(Cover(nil), cv...)
+	for {
+		merged := false
+	outer:
+		for i := 0; i < len(work); i++ {
+			for j := i + 1; j < len(work); j++ {
+				u, ok := unionIfAdjacent(work[i], work[j])
+				if !ok || !cubeInOnset(u, onset, n) {
+					continue
+				}
+				work[i] = u
+				work = append(work[:j], work[j+1:]...)
+				merged = true
+				break outer
+			}
+		}
+		if !merged {
+			return work
+		}
+	}
+}
+
+// unionIfAdjacent returns the merged cube when a and b differ in exactly
+// one variable with opposing fixed values and agree elsewhere.
+func unionIfAdjacent(a, b Cube) (Cube, bool) {
+	diff := -1
+	for v := range a {
+		if a[v] == b[v] {
+			continue
+		}
+		if diff >= 0 {
+			return nil, false
+		}
+		diff = v
+	}
+	if diff < 0 {
+		return nil, false // identical
+	}
+	u := append(Cube(nil), a...)
+	u[diff] = a[diff] | b[diff]
+	return u, true
+}

@@ -1,0 +1,161 @@
+package sop
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCubeBasics(t *testing.T) {
+	c := FromString("01-")
+	if c.String() != "01-" {
+		t.Fatalf("round trip: %q", c.String())
+	}
+	if !c.Covers(0b010) || c.Covers(0b011) {
+		t.Fatal("Covers wrong")
+	}
+	if !FromString("--1").Contains(FromString("011")) {
+		t.Fatal("Contains wrong")
+	}
+	if FromString("0-1").Contains(FromString("1-1")) {
+		t.Fatal("Contains false positive")
+	}
+}
+
+func TestMinimizeClassicAdjacent(t *testing.T) {
+	// 00 + 01 = 0-.
+	cv := FromStrings([]string{"00", "01"})
+	m := Minimize(cv, 2)
+	if len(m) != 1 || m[0].String() != "0-" {
+		t.Fatalf("minimized = %v", m.Strings())
+	}
+}
+
+func TestMinimizeFullCover(t *testing.T) {
+	// All four minterms of two variables collapse to the universal cube.
+	cv := FromStrings([]string{"00", "01", "10", "11"})
+	m := Minimize(cv, 2)
+	if len(m) != 1 || m[0].String() != "--" {
+		t.Fatalf("minimized = %v", m.Strings())
+	}
+}
+
+func TestMinimizeRedundantCube(t *testing.T) {
+	// The consensus cube "1-0" is redundant given "11-" and "--0"? Use a
+	// textbook case: f = ab + ¬a c + b c; "b c" is redundant.
+	cv := FromStrings([]string{"11-", "0-1", "-11"})
+	m := Minimize(cv, 3)
+	if len(m) != 2 {
+		t.Fatalf("minimized = %v, want 2 cubes", m.Strings())
+	}
+	if !Equal(cv, m, 3) {
+		t.Fatal("function changed")
+	}
+}
+
+func TestMinimizeXorUntouched(t *testing.T) {
+	// XOR has no two-level redundancy: both cubes stay.
+	cv := FromStrings([]string{"01", "10"})
+	m := Minimize(cv, 2)
+	if len(m) != 2 || !Equal(cv, m, 2) {
+		t.Fatalf("minimized = %v", m.Strings())
+	}
+}
+
+func TestMinimizeRandomPreservesFunction(t *testing.T) {
+	rng := rand.New(rand.NewSource(283))
+	for trial := 0; trial < 200; trial++ {
+		n := 2 + rng.Intn(4)
+		ncubes := 1 + rng.Intn(8)
+		var rows []string
+		for i := 0; i < ncubes; i++ {
+			b := make([]byte, n)
+			for v := 0; v < n; v++ {
+				b[v] = "01-"[rng.Intn(3)]
+			}
+			rows = append(rows, string(b))
+		}
+		cv := FromStrings(rows)
+		m := Minimize(cv, n)
+		if !Equal(cv, m, n) {
+			t.Fatalf("trial %d: function changed: %v -> %v", trial, rows, m.Strings())
+		}
+		if len(m) > len(cv) {
+			t.Fatalf("trial %d: cover grew", trial)
+		}
+	}
+}
+
+func TestMinimizeQuickMinterms(t *testing.T) {
+	// Build covers from random minterm sets; the minimized cover must
+	// match the original truth table exactly.
+	err := quick.Check(func(bits uint16) bool {
+		const n = 4
+		var rows []string
+		for m := 0; m < 16; m++ {
+			if bits&(1<<uint(m)) == 0 {
+				continue
+			}
+			b := make([]byte, n)
+			for v := 0; v < n; v++ {
+				if m&(1<<uint(v)) != 0 {
+					b[v] = '1'
+				} else {
+					b[v] = '0'
+				}
+			}
+			rows = append(rows, string(b))
+		}
+		if len(rows) == 0 {
+			return true
+		}
+		cv := FromStrings(rows)
+		min := Minimize(cv, n)
+		return Equal(cv, min, n)
+	}, &quick.Config{MaxCount: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMinimizeMintermExplosion(t *testing.T) {
+	// 16 minterms of a 4-input AND-ish function minimize well: f = x0.
+	var rows []string
+	for m := 0; m < 16; m++ {
+		if m&1 == 0 {
+			continue
+		}
+		b := make([]byte, 4)
+		for v := 0; v < 4; v++ {
+			if m&(1<<uint(v)) != 0 {
+				b[v] = '1'
+			} else {
+				b[v] = '0'
+			}
+		}
+		rows = append(rows, string(b))
+	}
+	m := Minimize(FromStrings(rows), 4)
+	if len(m) != 1 || m[0].String() != "1---" {
+		t.Fatalf("minimized = %v", m.Strings())
+	}
+}
+
+func TestEmptyAndWideGuards(t *testing.T) {
+	if got := Minimize(nil, 3); len(got) != 0 {
+		t.Fatal("empty cover changed")
+	}
+	// Too-wide covers pass through untouched.
+	wide := FromStrings([]string{strRepeat('-', 20)})
+	if got := Minimize(wide, 20); len(got) != 1 {
+		t.Fatal("wide cover changed")
+	}
+}
+
+func strRepeat(b byte, n int) string {
+	s := make([]byte, n)
+	for i := range s {
+		s[i] = b
+	}
+	return string(s)
+}

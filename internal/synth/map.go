@@ -1,0 +1,237 @@
+package synth
+
+import (
+	"fmt"
+
+	"seqver/internal/aig"
+	"seqver/internal/netlist"
+)
+
+// Technology mapping onto the paper's reduced library (Section 7.3):
+// inverter, 2-input NAND and 2-input NOR, unit delay per cell, at most
+// four fanouts per cell (violations are repaired with inverter-pair
+// buffer trees, exactly what a fanout-limited library forces).
+
+// Cell areas, in the spirit of lib2-style relative sizes. Latches count
+// toward active area too (the paper's area columns move with latch count
+// under min-area retiming).
+const (
+	AreaInv   = 1.0
+	AreaNand  = 2.0
+	AreaNor   = 2.0
+	AreaLatch = 6.0
+)
+
+// FanoutLimit is the per-cell fanout bound from the paper's setup.
+const FanoutLimit = 4
+
+// MapReport summarizes a mapped netlist.
+type MapReport struct {
+	Inv, Nand, Nor int
+	Latches        int
+	Area           float64
+	Delay          int // unit-delay levels, the paper's "S" column
+}
+
+// TechMap maps the combinational logic of c (latches pass through) onto
+// the 3-cell library and returns the mapped circuit with its report.
+func TechMap(c *netlist.Circuit) (*netlist.Circuit, MapReport, error) {
+	var rep MapReport
+	mapped, err := mapSequential(c)
+	if err != nil {
+		return nil, rep, err
+	}
+	mapped, err = limitFanout(mapped)
+	if err != nil {
+		return nil, rep, err
+	}
+	rep = Report(mapped)
+	return mapped, rep, nil
+}
+
+// mapSequential converts the combinational core to an AIG, then emits
+// NAND/NOR/INV cells: an AND node whose fanins are both complemented
+// becomes a NOR over the regular fanins (producing the node value
+// directly); otherwise a NAND (producing the complement). Inverters are
+// inserted on demand and cached per polarity.
+func mapSequential(c *netlist.Circuit) (*netlist.Circuit, error) {
+	if len(c.Latches) == 0 {
+		return mapComb(c)
+	}
+	v, err := ExtractComb(c)
+	if err != nil {
+		return nil, err
+	}
+	mc, err := mapComb(v.Comb)
+	if err != nil {
+		return nil, err
+	}
+	return v.Rebuild(mc)
+}
+
+func mapComb(c *netlist.Circuit) (*netlist.Circuit, error) {
+	a, err := aig.FromCircuit(c)
+	if err != nil {
+		return nil, err
+	}
+	a = aig.Compact(a)
+	out := netlist.New(c.Name + "_map")
+	// node -> circuit node in positive polarity (-1 unknown)
+	pos := make([]int, a.NumNodes())
+	neg := make([]int, a.NumNodes())
+	for i := range pos {
+		pos[i], neg[i] = -1, -1
+	}
+	invCnt, cellCnt := 0, 0
+	var constNode [2]int
+	constNode[0], constNode[1] = -1, -1
+	getConst := func(v bool) int {
+		i, op := 0, netlist.OpConst0
+		if v {
+			i, op = 1, netlist.OpConst1
+		}
+		if constNode[i] < 0 {
+			constNode[i] = out.AddGate(fmt.Sprintf("map_const%d", i), op)
+		}
+		return constNode[i]
+	}
+	for i := 0; i < a.NumPIs(); i++ {
+		pos[a.PI(i).Node()] = out.AddInput(a.PIName(i))
+	}
+	var fetch func(e aig.Lit) int
+	ensure := func(n uint32, wantNeg bool) int {
+		slot := &pos[n]
+		if wantNeg {
+			slot = &neg[n]
+		}
+		if *slot >= 0 {
+			return *slot
+		}
+		// Derive via inverter from the opposite polarity.
+		other := pos[n]
+		if wantNeg {
+			// fall through: other already pos[n]
+		} else {
+			other = neg[n]
+		}
+		if other < 0 {
+			panic("synth: neither polarity available")
+		}
+		inv := out.AddGate(fmt.Sprintf("map_inv%d", invCnt), netlist.OpNot, other)
+		invCnt++
+		*slot = inv
+		return inv
+	}
+	fetch = func(e aig.Lit) int {
+		n := e.Node()
+		if a.IsConst(n) {
+			return getConst(e.Compl()) // const node is FALSE; complement -> TRUE
+		}
+		return ensure(n, e.Compl())
+	}
+	// Emit AND nodes in topological (index) order.
+	for n := uint32(a.NumPIs() + 1); n < uint32(a.NumNodes()); n++ {
+		f0, f1 := a.Fanins(n)
+		if f0.Compl() && f1.Compl() && !a.IsConst(f0.Node()) && !a.IsConst(f1.Node()) {
+			// ¬x·¬y = NOR(x, y): positive polarity directly.
+			g := out.AddGate(fmt.Sprintf("map_nor%d", cellCnt), netlist.OpNor,
+				fetch(f0.Not()), fetch(f1.Not()))
+			cellCnt++
+			pos[n] = g
+		} else {
+			// NAND(x, y) produces the complement of the node.
+			g := out.AddGate(fmt.Sprintf("map_nand%d", cellCnt), netlist.OpNand,
+				fetch(f0), fetch(f1))
+			cellCnt++
+			neg[n] = g
+		}
+	}
+	for i := 0; i < a.NumPOs(); i++ {
+		out.AddOutput(a.POName(i), fetch(a.PO(i)))
+	}
+	return netlist.Sweep(out, true), nil
+}
+
+// limitFanout inserts inverter pairs to bring every cell's fanout under
+// FanoutLimit. Primary inputs are exempt (pad drivers).
+func limitFanout(c *netlist.Circuit) (*netlist.Circuit, error) {
+	out := c.Clone()
+	bufCnt := 0
+	for {
+		fan, isPO := out.Fanouts(true)
+		fixed := false
+		for _, n := range out.Nodes {
+			if n.Kind != netlist.KindGate {
+				continue
+			}
+			load := len(fan[n.ID])
+			if isPO[n.ID] {
+				load++
+			}
+			if load <= FanoutLimit {
+				continue
+			}
+			// Split: keep FanoutLimit-1 consumers on the original, move
+			// the rest to a buffered copy (two inverters).
+			i1 := out.AddGate(fmt.Sprintf("fo_inv%da", bufCnt), netlist.OpNot, n.ID)
+			i2 := out.AddGate(fmt.Sprintf("fo_inv%db", bufCnt), netlist.OpNot, i1)
+			bufCnt++
+			moved := 0
+			budget := load - (FanoutLimit - 1)
+			for _, consumer := range fan[n.ID] {
+				if moved >= budget {
+					break
+				}
+				cn := out.Nodes[consumer]
+				for j, f := range cn.Fanins {
+					if f == n.ID && moved < budget {
+						cn.Fanins[j] = i2
+						moved++
+					}
+				}
+				if cn.Kind == netlist.KindLatch && cn.Enable == n.ID && moved < budget {
+					cn.Enable = i2
+					moved++
+				}
+			}
+			fixed = true
+			break // fanouts changed; recompute
+		}
+		if !fixed {
+			break
+		}
+	}
+	if err := out.Check(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Report counts cells and levels of a mapped circuit. Gates other than
+// INV/NAND2/NOR2/constants are counted as NAND-equivalents so the
+// function is total, but TechMap never emits them.
+func Report(c *netlist.Circuit) MapReport {
+	var rep MapReport
+	rep.Latches = len(c.Latches)
+	rep.Area = AreaLatch * float64(rep.Latches)
+	for _, n := range c.Nodes {
+		if n.Kind != netlist.KindGate {
+			continue
+		}
+		switch n.Op {
+		case netlist.OpNot, netlist.OpBuf:
+			rep.Inv++
+			rep.Area += AreaInv
+		case netlist.OpNor:
+			rep.Nor++
+			rep.Area += AreaNor
+		case netlist.OpConst0, netlist.OpConst1:
+			// free
+		default:
+			rep.Nand++
+			rep.Area += AreaNand
+		}
+	}
+	rep.Delay = c.Stats().Levels
+	return rep
+}

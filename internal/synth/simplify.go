@@ -1,0 +1,39 @@
+package synth
+
+import (
+	"seqver/internal/netlist"
+	"seqver/internal/sop"
+)
+
+// SimplifyTables runs two-level minimization on every table gate's cover
+// (the "simplify" step of the SIS script, applied at the netlist level).
+// Gates with more than maxTableInputs fanins are left untouched (the
+// minimizer enumerates minterms). The circuit is modified in a clone.
+const maxTableInputs = 10
+
+// SimplifyTables returns a copy of c with minimized table covers.
+func SimplifyTables(c *netlist.Circuit) *netlist.Circuit {
+	out := c.Clone()
+	for _, n := range out.Nodes {
+		if n.Kind != netlist.KindGate || n.Op != netlist.OpTable {
+			continue
+		}
+		nv := len(n.Fanins)
+		if nv == 0 || nv > maxTableInputs {
+			continue
+		}
+		rows := make([]string, len(n.Cover))
+		for i, cu := range n.Cover {
+			rows[i] = string(cu)
+		}
+		min := sop.Minimize(sop.FromStrings(rows), nv)
+		if len(min) >= len(n.Cover) {
+			continue
+		}
+		n.Cover = n.Cover[:0]
+		for _, cu := range min.Strings() {
+			n.Cover = append(n.Cover, netlist.Cube(cu))
+		}
+	}
+	return out
+}

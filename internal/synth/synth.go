@@ -1,0 +1,184 @@
+// Package synth is the combinational-synthesis substitute for the
+// paper's modified SIS "script.delay" flow (Section 7.3): it optimizes
+// the combinational logic of a sequential circuit while keeping latch
+// positions fixed, then technology-maps onto the paper's reduced library
+// — inverter, 2-input NAND, 2-input NOR — under the unit delay model with
+// a fanout bound of four.
+//
+// The optimization core is AIG-based: structural hashing and constant
+// propagation on construction (sweep), SAT-sweeping functional reduction
+// (the sweep/eliminate/simplify work of the script), and level-aware
+// conjunction rebalancing (the reduce_depth work).
+package synth
+
+import (
+	"fmt"
+
+	"seqver/internal/aig"
+	"seqver/internal/netlist"
+)
+
+// latchRecord remembers how to reattach a latch after the combinational
+// core is rebuilt.
+type latchRecord struct {
+	name     string
+	dataPO   string // synthetic PO carrying the data cone
+	enablePO string // synthetic PO carrying the enable cone ("" if none)
+}
+
+// CombView extracts the combinational core of a sequential circuit:
+// latch outputs become extra primary inputs (keeping their names), and
+// latch data/enable nets become extra primary outputs with reserved
+// names. Rebuild reverses the transformation after optimization.
+type CombView struct {
+	Comb    *netlist.Circuit
+	seq     *netlist.Circuit
+	latches []latchRecord
+}
+
+func dataPOName(latch string) string   { return "__d$" + latch }
+func enablePOName(latch string) string { return "__e$" + latch }
+
+// ExtractComb builds the combinational view. Every latch must be named.
+func ExtractComb(c *netlist.Circuit) (*CombView, error) {
+	for _, id := range c.Latches {
+		if c.Nodes[id].Name == "" {
+			return nil, fmt.Errorf("synth: latch %d must be named", id)
+		}
+	}
+	comb := c.Clone()
+	v := &CombView{Comb: comb, seq: c}
+	// Register data/enable POs BEFORE converting latch nodes to inputs.
+	for _, id := range comb.Latches {
+		n := comb.Nodes[id]
+		rec := latchRecord{name: n.Name, dataPO: dataPOName(n.Name)}
+		comb.AddOutput(rec.dataPO, n.Data())
+		if n.Enable != netlist.NoEnable {
+			rec.enablePO = enablePOName(n.Name)
+			comb.AddOutput(rec.enablePO, n.Enable)
+		}
+		v.latches = append(v.latches, rec)
+	}
+	for _, id := range comb.Latches {
+		n := comb.Nodes[id]
+		n.Kind = netlist.KindInput
+		n.Fanins = nil
+		n.Enable = netlist.NoEnable
+		comb.Inputs = append(comb.Inputs, id)
+	}
+	comb.Latches = nil
+	if err := comb.Check(); err != nil {
+		return nil, fmt.Errorf("synth: comb view invalid: %w", err)
+	}
+	return v, nil
+}
+
+// Rebuild reassembles a sequential circuit from an optimized version of
+// the combinational view. The optimized circuit must keep the view's
+// input names and output names (order free).
+func (v *CombView) Rebuild(opt *netlist.Circuit) (*netlist.Circuit, error) {
+	out := opt.Clone()
+	out.Name = v.seq.Name + "_syn"
+	poOf := make(map[string]int)
+	for _, o := range out.Outputs {
+		poOf[o.Name] = o.Node
+	}
+	// Convert latch-output pseudo-inputs back into latches.
+	isLatchName := make(map[string]*latchRecord)
+	for i := range v.latches {
+		isLatchName[v.latches[i].name] = &v.latches[i]
+	}
+	var keptInputs []int
+	for _, id := range out.Inputs {
+		n := out.Nodes[id]
+		rec, ok := isLatchName[n.Name]
+		if !ok {
+			keptInputs = append(keptInputs, id)
+			continue
+		}
+		data, ok := poOf[rec.dataPO]
+		if !ok {
+			return nil, fmt.Errorf("synth: optimized circuit lost %s", rec.dataPO)
+		}
+		enable := netlist.NoEnable
+		if rec.enablePO != "" {
+			enable, ok = poOf[rec.enablePO]
+			if !ok {
+				return nil, fmt.Errorf("synth: optimized circuit lost %s", rec.enablePO)
+			}
+		}
+		n.Kind = netlist.KindLatch
+		n.Fanins = []int{data}
+		n.Enable = enable
+		out.Latches = append(out.Latches, id)
+	}
+	out.Inputs = keptInputs
+	// Drop the synthetic POs.
+	var keptPOs []netlist.Output
+	for _, o := range out.Outputs {
+		if len(o.Name) > 4 && (o.Name[:4] == "__d$" || o.Name[:4] == "__e$") {
+			continue
+		}
+		keptPOs = append(keptPOs, o)
+	}
+	out.Outputs = keptPOs
+	out = netlist.Sweep(out, false)
+	if err := out.Check(); err != nil {
+		return nil, fmt.Errorf("synth: rebuilt circuit invalid: %w", err)
+	}
+	return out, nil
+}
+
+// Options configures the optimization script.
+type Options struct {
+	Fraig    bool // SAT-sweeping functional reduction (area)
+	Refactor bool // cut-based ISOP refactoring (area)
+	Balance  bool // conjunction rebalancing (delay)
+	Seed     int64
+}
+
+// DefaultScript mirrors the paper's modified script.delay: sweep +
+// simplify (fraig + refactor) followed by depth reduction (balance).
+func DefaultScript() Options { return Options{Fraig: true, Refactor: true, Balance: true} }
+
+// OptimizeComb runs the AIG script on a purely combinational circuit.
+func OptimizeComb(c *netlist.Circuit, opt Options) (*netlist.Circuit, error) {
+	a, err := aig.FromCircuit(c)
+	if err != nil {
+		return nil, err
+	}
+	a = aig.Compact(a)
+	if opt.Fraig {
+		a = aig.Fraig(a, aig.FraigOptions{Seed: opt.Seed})
+	}
+	if opt.Refactor {
+		a = aig.Refactor(a)
+	}
+	if opt.Balance {
+		a = aig.Balance(a)
+	}
+	if opt.Fraig && opt.Balance {
+		// Balance can expose new sharing; one more cheap fraig pass.
+		a = aig.Fraig(a, aig.FraigOptions{Seed: opt.Seed + 1, MaxConflicts: 500})
+	}
+	out := a.ToCircuit(c.Name)
+	return out, nil
+}
+
+// Optimize runs the script on a sequential circuit, latch positions
+// fixed (the "combinational synthesis" step of the retime-and-resynthesize
+// loop).
+func Optimize(c *netlist.Circuit, opt Options) (*netlist.Circuit, error) {
+	if len(c.Latches) == 0 {
+		return OptimizeComb(c, opt)
+	}
+	v, err := ExtractComb(c)
+	if err != nil {
+		return nil, err
+	}
+	oc, err := OptimizeComb(v.Comb, opt)
+	if err != nil {
+		return nil, err
+	}
+	return v.Rebuild(oc)
+}

@@ -1,0 +1,347 @@
+package synth
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"seqver/internal/netlist"
+	"seqver/internal/sim"
+)
+
+// redundantSeq builds a sequential circuit with combinational redundancy
+// around fixed latches.
+func redundantSeq() *netlist.Circuit {
+	c := netlist.New("red")
+	a := c.AddInput("a")
+	b := c.AddInput("b")
+	// Two structurally different xors of (a,b).
+	x1 := c.AddGate("x1", netlist.OpXor, a, b)
+	na := c.AddGate("na", netlist.OpNot, a)
+	nb := c.AddGate("nb", netlist.OpNot, b)
+	t1 := c.AddGate("t1", netlist.OpAnd, a, nb)
+	t2 := c.AddGate("t2", netlist.OpAnd, na, b)
+	x2 := c.AddGate("x2", netlist.OpOr, t1, t2)
+	l1 := c.AddLatch("l1", x1)
+	l2 := c.AddLatch("l2", x2)
+	o := c.AddGate("o", netlist.OpAnd, l1, l2) // == l1 (l1 ≡ l2)
+	c.AddOutput("o", o)
+	return c
+}
+
+func TestExtractRebuildRoundTrip(t *testing.T) {
+	c := redundantSeq()
+	v, err := ExtractComb(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Comb view has latch outputs as inputs, data nets as outputs.
+	if len(v.Comb.Latches) != 0 {
+		t.Fatal("comb view still has latches")
+	}
+	if got, want := len(v.Comb.Inputs), 4; got != want {
+		t.Fatalf("comb inputs = %d, want %d", got, want)
+	}
+	rb, err := v.Rebuild(v.Comb.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rb.Latches) != 2 {
+		t.Fatalf("rebuild lost latches: %d", len(rb.Latches))
+	}
+	rng := rand.New(rand.NewSource(113))
+	eq, _ := sim.HistoryEquivalent(c, rb, 10, 6, rng)
+	if !eq {
+		t.Fatal("identity round trip changed behaviour")
+	}
+}
+
+func TestOptimizePreservesBehaviour(t *testing.T) {
+	c := redundantSeq()
+	o, err := Optimize(c, DefaultScript())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(127))
+	eq, witness := sim.HistoryEquivalent(c, o, 20, 8, rng)
+	if !eq {
+		t.Fatalf("optimize changed behaviour; witness %v", witness)
+	}
+	if len(o.Latches) != len(c.Latches) {
+		t.Fatalf("optimize moved latches: %d -> %d", len(c.Latches), len(o.Latches))
+	}
+}
+
+func TestOptimizeEnabledLatch(t *testing.T) {
+	c := netlist.New("en")
+	d := c.AddInput("d")
+	e := c.AddInput("e")
+	// Redundant enable cone: e AND e.
+	ee := c.AddGate("ee", netlist.OpAnd, e, e)
+	q := c.AddEnabledLatch("q", d, ee)
+	c.AddOutput("o", q)
+	o, err := Optimize(c, DefaultScript())
+	if err != nil {
+		t.Fatal(err)
+	}
+	q2 := o.MustLookup("q")
+	if o.Nodes[q2].Enable == netlist.NoEnable {
+		t.Fatal("enable lost")
+	}
+	rng := rand.New(rand.NewSource(131))
+	eq, _ := sim.HistoryEquivalent(c, o, 20, 8, rng)
+	if !eq {
+		t.Fatal("optimize broke enabled latch")
+	}
+}
+
+func TestOptimizeCombReducesRedundancy(t *testing.T) {
+	// Pure combinational: two copies of the same function ANDed.
+	c := netlist.New("comb")
+	a := c.AddInput("a")
+	b := c.AddInput("b")
+	g1 := c.AddGate("g1", netlist.OpAnd, a, b)
+	g2 := c.AddGate("g2", netlist.OpNand, a, b)
+	g3 := c.AddGate("g3", netlist.OpNot, g2)
+	o := c.AddGate("o", netlist.OpAnd, g1, g3) // == g1
+	c.AddOutput("o", o)
+	opt, err := OptimizeComb(c, DefaultScript())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One AND suffices.
+	if opt.NumGates() > 2 {
+		t.Fatalf("optimized gate count = %d", opt.NumGates())
+	}
+}
+
+func TestTechMapOnlyLibraryCells(t *testing.T) {
+	c := redundantSeq()
+	m, rep, err := TechMap(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range m.Nodes {
+		if n.Kind != netlist.KindGate {
+			continue
+		}
+		switch n.Op {
+		case netlist.OpNot, netlist.OpNand, netlist.OpNor, netlist.OpConst0, netlist.OpConst1:
+		default:
+			t.Fatalf("non-library gate %v (%s)", n.Op, n.Name)
+		}
+		if n.Op == netlist.OpNand || n.Op == netlist.OpNor {
+			if len(n.Fanins) != 2 {
+				t.Fatalf("%s has %d fanins", n.Name, len(n.Fanins))
+			}
+		}
+	}
+	if rep.Area <= 0 || rep.Delay <= 0 {
+		t.Fatalf("report = %+v", rep)
+	}
+	rng := rand.New(rand.NewSource(137))
+	eq, _ := sim.HistoryEquivalent(c, m, 20, 8, rng)
+	if !eq {
+		t.Fatal("mapping changed behaviour")
+	}
+}
+
+func TestTechMapFanoutLimit(t *testing.T) {
+	// One gate driving 9 consumers must be buffered.
+	c := netlist.New("fan")
+	a := c.AddInput("a")
+	b := c.AddInput("b")
+	g := c.AddGate("g", netlist.OpAnd, a, b)
+	for i := 0; i < 9; i++ {
+		o := c.AddGate(string(rune('p'+i)), netlist.OpNot, g)
+		c.AddOutput(string(rune('A'+i)), o)
+	}
+	m, _, err := TechMap(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fan, isPO := m.Fanouts(true)
+	for _, n := range m.Nodes {
+		if n.Kind != netlist.KindGate {
+			continue
+		}
+		load := len(fan[n.ID])
+		if isPO[n.ID] {
+			load++
+		}
+		if load > FanoutLimit {
+			t.Fatalf("gate %s has fanout %d", n.Name, load)
+		}
+	}
+	rng := rand.New(rand.NewSource(139))
+	eq, _ := sim.HistoryEquivalent(c, m, 10, 4, rng)
+	if !eq {
+		t.Fatal("fanout fixing changed behaviour")
+	}
+}
+
+func TestMapNorUsage(t *testing.T) {
+	// ¬a·¬b should map to a single NOR, not NAND+3 inverters.
+	c := netlist.New("nor")
+	a := c.AddInput("a")
+	b := c.AddInput("b")
+	na := c.AddGate("na", netlist.OpNot, a)
+	nb := c.AddGate("nb", netlist.OpNot, b)
+	g := c.AddGate("g", netlist.OpAnd, na, nb)
+	c.AddOutput("o", g)
+	m, rep, err := TechMap(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Nor != 1 || rep.Nand != 0 || rep.Inv != 0 {
+		t.Fatalf("report = %+v; want a single NOR\n%s", rep, m)
+	}
+}
+
+func TestOptimizeRandomCircuits(t *testing.T) {
+	rng := rand.New(rand.NewSource(149))
+	for trial := 0; trial < 15; trial++ {
+		c := randomSeq(rng)
+		o, err := Optimize(c, DefaultScript())
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		eq, witness := sim.HistoryEquivalent(c, o, 8, 6, rng)
+		if !eq {
+			t.Fatalf("trial %d inequivalent; witness %v\nbefore:\n%s\nafter:\n%s", trial, witness, c, o)
+		}
+		m, _, err := TechMap(o)
+		if err != nil {
+			t.Fatalf("trial %d map: %v", trial, err)
+		}
+		eq, _ = sim.HistoryEquivalent(c, m, 8, 6, rng)
+		if !eq {
+			t.Fatalf("trial %d mapped inequivalent", trial)
+		}
+	}
+}
+
+func randomSeq(rng *rand.Rand) *netlist.Circuit {
+	c := netlist.New("rnd")
+	var pool []int
+	for i := 0; i < 3; i++ {
+		pool = append(pool, c.AddInput(string(rune('a'+i))))
+	}
+	nl := 1 + rng.Intn(3)
+	var latches []int
+	for i := 0; i < nl; i++ {
+		l := c.AddLatch("L"+string(rune('0'+i)), 0)
+		latches = append(latches, l)
+		pool = append(pool, l)
+	}
+	ops := []netlist.Op{netlist.OpAnd, netlist.OpOr, netlist.OpXor, netlist.OpNand, netlist.OpNor, netlist.OpNot}
+	for g := 0; g < 8+rng.Intn(8); g++ {
+		op := ops[rng.Intn(len(ops))]
+		var id int
+		if op == netlist.OpNot {
+			id = c.AddGate("", op, pool[rng.Intn(len(pool))])
+		} else {
+			id = c.AddGate("", op, pool[rng.Intn(len(pool))], pool[rng.Intn(len(pool))])
+		}
+		pool = append(pool, id)
+	}
+	for i, l := range latches {
+		c.SetLatchData(l, pool[len(pool)-1-i])
+	}
+	c.AddOutput("o", pool[len(pool)-1])
+	return c
+}
+
+func TestSimplifyTables(t *testing.T) {
+	c := netlist.New("tbl")
+	a := c.AddInput("a")
+	b := c.AddInput("b")
+	// Redundant cover: 00 + 01 + 0- collapses to 0-.
+	g := c.AddTable("g", []int{a, b}, []netlist.Cube{"00", "01", "0-"})
+	c.AddOutput("o", g)
+	s := SimplifyTables(c)
+	if got := len(s.Nodes[s.MustLookup("g")].Cover); got != 1 {
+		t.Fatalf("cover size = %d, want 1", got)
+	}
+	// Function preserved.
+	rng := rand.New(rand.NewSource(293))
+	eq, _ := sim.HistoryEquivalent(c, s, 5, 3, rng)
+	if !eq {
+		t.Fatal("simplify changed behaviour")
+	}
+	// Original untouched.
+	if len(c.Nodes[c.MustLookup("g")].Cover) != 3 {
+		t.Fatal("original mutated")
+	}
+}
+
+func TestSimplifyTablesSkipsWide(t *testing.T) {
+	c := netlist.New("wide")
+	var ins []int
+	for i := 0; i < 12; i++ {
+		ins = append(ins, c.AddInput(string(rune('a'+i))))
+	}
+	cube := netlist.Cube("------------")
+	g := c.AddTable("wideg", ins, []netlist.Cube{cube, cube})
+	c.AddOutput("o", g)
+	s := SimplifyTables(c)
+	if len(s.Nodes[s.MustLookup("wideg")].Cover) != 2 {
+		t.Fatal("wide table was touched")
+	}
+}
+
+func TestWriteVerilog(t *testing.T) {
+	c := redundantSeq()
+	m, _, err := TechMap(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := WriteVerilog(&sb, m); err != nil {
+		t.Fatal(err)
+	}
+	v := sb.String()
+	for _, want := range []string{"module red", "endmodule", "input clk", "always @(posedge clk)", "output o"} {
+		if !strings.Contains(v, want) {
+			t.Fatalf("verilog missing %q:\n%s", want, v)
+		}
+	}
+	// No duplicate wire declarations.
+	decl := map[string]bool{}
+	for _, line := range strings.Split(v, "\n") {
+		line = strings.TrimSpace(line)
+		if strings.HasPrefix(line, "wire ") || strings.HasPrefix(line, "reg ") {
+			if decl[line] {
+				t.Fatalf("duplicate declaration %q", line)
+			}
+			decl[line] = true
+		}
+	}
+}
+
+func TestWriteVerilogRejectsUnmapped(t *testing.T) {
+	c := netlist.New("raw")
+	a := c.AddInput("a")
+	b := c.AddInput("b")
+	g := c.AddGate("g", netlist.OpXor, a, b)
+	c.AddOutput("o", g)
+	var sb strings.Builder
+	if err := WriteVerilog(&sb, c); err == nil {
+		t.Fatal("unmapped gate accepted")
+	}
+}
+
+func TestWriteVerilogEnabledLatch(t *testing.T) {
+	c := netlist.New("en")
+	d := c.AddInput("d")
+	e := c.AddInput("e")
+	q := c.AddEnabledLatch("q", d, e)
+	c.AddOutput("o", q)
+	var sb strings.Builder
+	if err := WriteVerilog(&sb, c); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "if (e) w_q_r <= d") {
+		t.Fatalf("enable clause missing:\n%s", sb.String())
+	}
+}

@@ -1,0 +1,127 @@
+package synth
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"seqver/internal/netlist"
+)
+
+// WriteVerilog emits a mapped circuit as a structural gate-level Verilog
+// module (assign-style INV/NAND2/NOR2 cells plus clocked always blocks
+// for latches, with load enables), so flow results can be consumed by
+// standard downstream tools. Gates outside the mapped library are
+// rejected.
+func WriteVerilog(w io.Writer, c *netlist.Circuit) error {
+	bw := bufio.NewWriter(w)
+	// Internal nets carry a w_ prefix so they can never collide with
+	// port names (ports keep their own names).
+	name := func(id int) string {
+		n := c.Nodes[id]
+		if n.Kind == netlist.KindInput {
+			return sanitizeVerilog(n.Name)
+		}
+		if n.Name != "" {
+			return "w_" + sanitizeVerilog(n.Name)
+		}
+		return fmt.Sprintf("w_n%d", id)
+	}
+
+	fmt.Fprintf(bw, "module %s (\n", sanitizeVerilog(moduleName(c)))
+	fmt.Fprint(bw, "  input clk")
+	for _, id := range c.Inputs {
+		fmt.Fprintf(bw, ",\n  input %s", name(id))
+	}
+	for _, o := range c.Outputs {
+		fmt.Fprintf(bw, ",\n  output %s", sanitizeVerilog(o.Name))
+	}
+	fmt.Fprintln(bw, "\n);")
+
+	// Declarations first: wires for gates, regs (+ alias wires) for
+	// latches.
+	for _, n := range c.Nodes {
+		if n.Kind == netlist.KindGate {
+			fmt.Fprintf(bw, "  wire %s;\n", name(n.ID))
+		}
+	}
+	for _, id := range c.Latches {
+		r := name(id)
+		fmt.Fprintf(bw, "  reg %s_r;\n  wire %s;\n  assign %s = %s_r;\n", r, r, r, r)
+	}
+
+	// Combinational cells.
+	for _, n := range c.Nodes {
+		if n.Kind != netlist.KindGate {
+			continue
+		}
+		switch n.Op {
+		case netlist.OpNot:
+			fmt.Fprintf(bw, "  assign %s = ~%s;\n", name(n.ID), name(n.Fanins[0]))
+		case netlist.OpBuf:
+			fmt.Fprintf(bw, "  assign %s = %s;\n", name(n.ID), name(n.Fanins[0]))
+		case netlist.OpNand:
+			fmt.Fprintf(bw, "  assign %s = ~(%s & %s);\n", name(n.ID), name(n.Fanins[0]), name(n.Fanins[1]))
+		case netlist.OpNor:
+			fmt.Fprintf(bw, "  assign %s = ~(%s | %s);\n", name(n.ID), name(n.Fanins[0]), name(n.Fanins[1]))
+		case netlist.OpConst0:
+			fmt.Fprintf(bw, "  assign %s = 1'b0;\n", name(n.ID))
+		case netlist.OpConst1:
+			fmt.Fprintf(bw, "  assign %s = 1'b1;\n", name(n.ID))
+		default:
+			return fmt.Errorf("synth: WriteVerilog requires a mapped circuit; gate %q is %v", n.Name, n.Op)
+		}
+	}
+
+	// Sequential cells.
+	for _, id := range c.Latches {
+		n := c.Nodes[id]
+		if n.Enable == netlist.NoEnable {
+			fmt.Fprintf(bw, "  always @(posedge clk) %s_r <= %s;\n", name(id), name(n.Data()))
+		} else {
+			fmt.Fprintf(bw, "  always @(posedge clk) if (%s) %s_r <= %s;\n",
+				name(n.Enable), name(id), name(n.Data()))
+		}
+	}
+
+	// Output aliases when the PO name differs from the driver.
+	for _, o := range c.Outputs {
+		if name(o.Node) != sanitizeVerilog(o.Name) {
+			fmt.Fprintf(bw, "  assign %s = %s;\n", sanitizeVerilog(o.Name), name(o.Node))
+		}
+	}
+	fmt.Fprintln(bw, "endmodule")
+	return bw.Flush()
+}
+
+func moduleName(c *netlist.Circuit) string {
+	if c.Name == "" {
+		return "top"
+	}
+	return c.Name
+}
+
+// sanitizeVerilog rewrites characters that are not legal in simple
+// Verilog identifiers.
+func sanitizeVerilog(s string) string {
+	var sb strings.Builder
+	for i := 0; i < len(s); i++ {
+		ch := s[i]
+		switch {
+		case ch >= 'a' && ch <= 'z', ch >= 'A' && ch <= 'Z', ch == '_':
+			sb.WriteByte(ch)
+		case ch >= '0' && ch <= '9':
+			if i == 0 {
+				sb.WriteByte('_')
+			}
+			sb.WriteByte(ch)
+		default:
+			sb.WriteByte('_')
+		}
+	}
+	if sb.Len() == 0 {
+		return "_"
+	}
+	return sb.String()
+}

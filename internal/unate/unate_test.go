@@ -1,0 +1,340 @@
+package unate
+
+import (
+	"math/rand"
+	"testing"
+
+	"seqver/internal/bdd"
+	"seqver/internal/netlist"
+	"seqver/internal/sim"
+)
+
+func TestDecomposeLemma61(t *testing.T) {
+	m := bdd.New(3)
+	a, b, x := m.Var(0), m.Var(1), 2
+	xr := m.Var(x)
+	// F = a·x + b: positive unate in x.
+	F := m.Or(m.And(a, xr), b)
+	dec, ok := Decompose(m, F, x)
+	if !ok {
+		t.Fatal("a·x+b should be decomposable")
+	}
+	// Unique enable e = ¬F_x + F_x̄ = ¬(a+b) + b = ¬a + b.
+	wantE := m.Or(a.Not(), b)
+	if dec.Enable != wantE {
+		t.Fatal("enable is not ¬a + b")
+	}
+	// Both interval limits verify the reconstruction.
+	if !Verify(m, F, x, dec.Enable, dec.DLow) {
+		t.Fatal("lower-limit data does not rebuild F")
+	}
+	if !Verify(m, F, x, dec.Enable, dec.DHigh) {
+		t.Fatal("upper-limit data does not rebuild F")
+	}
+	if dec.DLow != b || dec.DHigh != m.Or(a, b) {
+		t.Fatal("interval limits are not [b, a+b]")
+	}
+}
+
+func TestDecomposeRejectsBinate(t *testing.T) {
+	m := bdd.New(2)
+	a, x := m.Var(0), 1
+	// F = a ⊕ x: binate in x.
+	F := m.Xor(a, m.Var(x))
+	if _, ok := Decompose(m, F, x); ok {
+		t.Fatal("xor next-state accepted as decomposable")
+	}
+	// F = ¬x (toggle): negative unate, also rejected.
+	if _, ok := Decompose(m, m.Var(x).Not(), x); ok {
+		t.Fatal("toggle accepted as decomposable")
+	}
+}
+
+func TestDecomposeAllPositiveUnateExhaustive(t *testing.T) {
+	// Every 2-variable function F(a, x): Decompose succeeds iff F is
+	// positive unate in x, and the rebuilt function matches for any d in
+	// the interval.
+	m := bdd.New(2)
+	a, x := m.Var(0), 1
+	xr := m.Var(x)
+	for tt := 0; tt < 16; tt++ {
+		// Build F from its truth table over (a, x).
+		F := bdd.False
+		for i := 0; i < 4; i++ {
+			if tt&(1<<uint(i)) == 0 {
+				continue
+			}
+			av, xv := i&1 != 0, i&2 != 0
+			term := bdd.True
+			if av {
+				term = m.And(term, a)
+			} else {
+				term = m.And(term, a.Not())
+			}
+			if xv {
+				term = m.And(term, xr)
+			} else {
+				term = m.And(term, xr.Not())
+			}
+			F = m.Or(F, term)
+		}
+		wantUnate := m.PositiveUnate(F, x)
+		dec, ok := Decompose(m, F, x)
+		if ok != wantUnate {
+			t.Fatalf("tt=%04b: ok=%v unate=%v", tt, ok, wantUnate)
+		}
+		if ok {
+			for _, d := range []bdd.Ref{dec.DLow, dec.DHigh} {
+				if !Verify(m, F, x, dec.Enable, d) {
+					t.Fatalf("tt=%04b: verify failed", tt)
+				}
+			}
+		}
+	}
+}
+
+func TestEnableUniqueness(t *testing.T) {
+	// Any valid decomposition must use the canonical enable: probing a
+	// few alternatives of F = a·x + b shows no other enable verifies with
+	// any d in the interval's corners.
+	m := bdd.New(3)
+	a, b, x := m.Var(0), m.Var(1), 2
+	F := m.Or(m.And(a, m.Var(x)), b)
+	dec, _ := Decompose(m, F, x)
+	alts := []bdd.Ref{bdd.True, a, b, m.Or(a, b), m.And(a, b), dec.Enable.Not()}
+	for _, e := range alts {
+		if e == dec.Enable {
+			continue
+		}
+		if Verify(m, F, x, e, dec.DLow) || Verify(m, F, x, e, dec.DHigh) {
+			t.Fatal("non-canonical enable verified")
+		}
+	}
+}
+
+func TestCanonicalDataLemma62(t *testing.T) {
+	m := bdd.New(3)
+	a, b, x := m.Var(0), m.Var(1), 2
+	// F = a·b + ¬a·x: the textbook load-enable shape. F_x = ¬a + b,
+	// F_x̄ = a·b, so e = ¬F_x + F_x̄ = a (support {a}) and the forced
+	// data is d = b (support {b}) — disjoint supports per Lemma 6.2.
+	F := m.Or(m.And(a, b), m.And(a.Not(), m.Var(x)))
+	dec, ok := Decompose(m, F, x)
+	if !ok {
+		t.Fatal("not decomposable")
+	}
+	d, ok := CanonicalData(m, dec)
+	if !ok {
+		t.Fatalf("no disjoint-support decomposition found")
+	}
+	// d must be independent of the enable's support and verify.
+	if !Verify(m, F, x, dec.Enable, d) {
+		t.Fatal("canonical data does not rebuild F")
+	}
+	esup := m.Support(dec.Enable)
+	dsup := m.Support(d)
+	for _, ev := range esup {
+		for _, dv := range dsup {
+			if ev == dv {
+				t.Fatalf("supports overlap on var %d (e:%v d:%v)", ev, esup, dsup)
+			}
+		}
+	}
+	_ = b
+}
+
+func TestCanonicalDataNoDisjoint(t *testing.T) {
+	// F = a·(x + b): F_x = a, F_x̄ = a·b, e = ¬a + b (support {a,b}).
+	// Enabling assignments force d = 0 at a=0 and d = 1 at (a=1, b=1),
+	// so no data function independent of {a, b} exists.
+	m := bdd.New(3)
+	a, b := m.Var(0), m.Var(1)
+	x := 2
+	F := m.And(a, m.Or(m.Var(x), b))
+	dec, ok := Decompose(m, F, x)
+	if !ok {
+		t.Fatal("a·(x+b) should be positive unate in x")
+	}
+	if _, ok := CanonicalData(m, dec); ok {
+		t.Fatal("unexpected disjoint-support decomposition")
+	}
+}
+
+// selfLoopCircuit builds a latch with conditional update (Figure 14
+// spirit): x' = en·d + ¬en·x, written as plain gates (a self-loop).
+func selfLoopCircuit() *netlist.Circuit {
+	c := netlist.New("cond")
+	d := c.AddInput("d")
+	en := c.AddInput("en")
+	x := c.AddLatch("x", 0)
+	load := c.AddGate("load", netlist.OpAnd, en, d)
+	nen := c.AddGate("nen", netlist.OpNot, en)
+	hold := c.AddGate("hold", netlist.OpAnd, nen, x)
+	nxt := c.AddGate("nxt", netlist.OpOr, load, hold)
+	c.SetLatchData(x, nxt)
+	c.AddOutput("o", x)
+	return c
+}
+
+func TestAnalyzeSelfLoops(t *testing.T) {
+	c := selfLoopCircuit()
+	reps, err := AnalyzeSelfLoops(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reps) != 1 {
+		t.Fatalf("reports = %+v", reps)
+	}
+	r := reps[0]
+	if !r.SelfDep || !r.Unate || r.OtherDep {
+		t.Fatalf("report = %+v, want self-dep positive-unate", r)
+	}
+	// A toggle latch (x' = x ⊕ en) is self-dep but binate.
+	c2 := netlist.New("tog")
+	en := c2.AddInput("en")
+	x := c2.AddLatch("x", 0)
+	nxt := c2.AddGate("nxt", netlist.OpXor, x, en)
+	c2.SetLatchData(x, nxt)
+	c2.AddOutput("o", x)
+	reps2, err := AnalyzeSelfLoops(c2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reps2) != 1 || reps2[0].Unate {
+		t.Fatalf("toggle reports = %+v", reps2)
+	}
+}
+
+func TestAnalyzeCrossCoupledLatches(t *testing.T) {
+	// Two latches feeding each other: OtherDep set, SelfDep clear.
+	c := netlist.New("cross")
+	a := c.AddInput("a")
+	l1 := c.AddLatch("l1", 0)
+	l2 := c.AddLatch("l2", 0)
+	g1 := c.AddGate("g1", netlist.OpAnd, l2, a)
+	g2 := c.AddGate("g2", netlist.OpOr, l1, a)
+	c.SetLatchData(l1, g1)
+	c.SetLatchData(l2, g2)
+	c.AddOutput("o", l1)
+	reps, err := AnalyzeSelfLoops(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reps) != 2 {
+		t.Fatalf("reports = %+v", reps)
+	}
+	for _, r := range reps {
+		if r.SelfDep || !r.OtherDep {
+			t.Fatalf("report = %+v, want other-dep only", r)
+		}
+	}
+}
+
+func TestSynthesizeBDDMatches(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for trial := 0; trial < 30; trial++ {
+		m := bdd.New(4)
+		// Random function over 4 vars.
+		f := bdd.False
+		for i := 0; i < 6; i++ {
+			term := bdd.True
+			for v := 0; v < 4; v++ {
+				switch rng.Intn(3) {
+				case 0:
+					term = m.And(term, m.Var(v))
+				case 1:
+					term = m.And(term, m.NVar(v))
+				}
+			}
+			f = m.Or(f, term)
+		}
+		c := netlist.New("syn")
+		nodeOf := make(map[int]int)
+		for v := 0; v < 4; v++ {
+			nodeOf[v] = c.AddInput(string(rune('a' + v)))
+		}
+		id := SynthesizeBDD(c, m, f, nodeOf, "t")
+		c.AddOutput("o", id)
+		s := sim.New(c)
+		for mask := 0; mask < 16; mask++ {
+			in := make([]bool, 4)
+			assign := make([]bool, 4)
+			for v := 0; v < 4; v++ {
+				in[v] = mask&(1<<uint(v)) != 0
+				assign[v] = in[v]
+			}
+			out, _ := s.Step(in, sim.State{})
+			if out[0] != m.Eval(f, assign) {
+				t.Fatalf("trial %d mask %d: circuit %v bdd %v", trial, mask, out[0], m.Eval(f, assign))
+			}
+		}
+	}
+}
+
+func TestModelFeedbackPreservesBehaviour(t *testing.T) {
+	c := selfLoopCircuit()
+	out, modeled, err := ModelFeedback(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(modeled) != 1 {
+		t.Fatalf("modeled = %v", modeled)
+	}
+	// The re-modeled latch must have an enable now.
+	x := out.MustLookup("x")
+	if out.Nodes[x].Enable == netlist.NoEnable {
+		t.Fatal("latch not converted to enabled form")
+	}
+	// Sequential behaviour identical (the latch state maps 1:1).
+	rng := rand.New(rand.NewSource(67))
+	s1, s2 := sim.New(c), sim.New(netlist.Sweep(out, false))
+	for trial := 0; trial < 30; trial++ {
+		seq := s1.RandomSequence(10, rng)
+		st := s1.RandomState(rng)
+		o1 := s1.Run(seq, st)
+		o2 := s2.Run(seq, st)
+		for tt := range o1 {
+			if o1[tt][0] != o2[tt][0] {
+				t.Fatalf("trial %d cycle %d: %v vs %v", trial, tt, o1[tt], o2[tt])
+			}
+		}
+	}
+}
+
+func TestModelFeedbackSkipsBinate(t *testing.T) {
+	c := netlist.New("tog")
+	en := c.AddInput("en")
+	x := c.AddLatch("x", 0)
+	nxt := c.AddGate("nxt", netlist.OpXor, x, en)
+	c.SetLatchData(x, nxt)
+	c.AddOutput("o", x)
+	_, modeled, err := ModelFeedback(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(modeled) != 0 {
+		t.Fatal("binate self-loop was modeled")
+	}
+}
+
+func TestLatchFunctionsEnabledLatch(t *testing.T) {
+	// Enabled latch: next = e·d + ¬e·x even before any modeling.
+	c := netlist.New("en")
+	d := c.AddInput("d")
+	e := c.AddInput("e")
+	q := c.AddEnabledLatch("q", d, e)
+	c.AddOutput("o", q)
+	m := bdd.New(0)
+	next, enable, varOf, err := LatchFunctions(c, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dv, ev, xv := m.Var(varOf[c.MustLookup("d")]), m.Var(varOf[c.MustLookup("e")]), m.Var(varOf[q])
+	want := m.Ite(ev, dv, xv)
+	if next[q] != want {
+		t.Fatal("enabled-latch next-state wrong")
+	}
+	if enable[q] != ev {
+		t.Fatal("enable function wrong")
+	}
+}
