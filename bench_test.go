@@ -103,6 +103,35 @@ func prepareHJ(b *testing.B, sp bench.Spec) (*netlist.Circuit, *netlist.Circuit)
 	return h, j
 }
 
+// --- Parallel CEC backend: worker sweep -------------------------------
+
+// BenchmarkCheckParallel sweeps the miter worker-pool size on a
+// multi-output miter pair. The per-output SAT proofs are independent by
+// construction (the CBF unrolling replicates cones per output), so this
+// measures how far the embarrassingly parallel stage actually scales on
+// the host. cmd/cecbench runs the same sweep standalone and records the
+// series (ns/op, speedup vs 1 worker) in BENCH_cec.json.
+func BenchmarkCheckParallel(b *testing.B) {
+	sp, _ := findSpec("s3384")
+	h, j := prepareHJ(b, sp)
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				// sat engine: keeps one real SAT proof per output (the
+				// hybrid engine's fraig collapses equivalent pairs
+				// structurally, leaving the pool idle).
+				res, err := cec.Check(h, j, cec.Options{Engine: "sat", Workers: workers})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Verdict != cec.Equivalent {
+					b.Fatalf("verdict %v", res.Verdict)
+				}
+			}
+		})
+	}
+}
+
 // --- Table 2: exposure on industrial-shaped circuits -----------------
 
 func BenchmarkTable2Row(b *testing.B) {

@@ -1,0 +1,170 @@
+// Command cecbench measures the parallel CEC backend and records the
+// perf trajectory: it prepares a multi-output miter pair (a
+// Table-1-shaped sequential circuit against its retimed + resynthesized
+// version, both CBF-unrolled), times cec.Check across a sweep of worker
+// counts, and writes the series to BENCH_cec.json (ns/op per worker
+// count plus the speedup over the 1-worker baseline) so successive PRs
+// can compare against the same harness.
+//
+// Usage:
+//
+//	cecbench [-circuit s3384] [-workers 1,2,4,8] [-iters 3] [-out BENCH_cec.json]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"seqver/internal/bench"
+	"seqver/internal/cbf"
+	"seqver/internal/cec"
+	"seqver/internal/core"
+	"seqver/internal/netlist"
+	"seqver/internal/retime"
+	"seqver/internal/synth"
+)
+
+type workerResult struct {
+	Workers   int     `json:"workers"`
+	Iters     int     `json:"iters"`
+	MeanNSOp  int64   `json:"mean_ns_op"`
+	MinNSOp   int64   `json:"min_ns_op"`
+	Speedup   float64 `json:"speedup_vs_1_worker"` // from min ns/op
+	SATCalls  int     `json:"sat_calls"`
+	Conflicts int64   `json:"conflicts"`
+	Verdict   string  `json:"verdict"`
+}
+
+type report struct {
+	Circuit    string         `json:"circuit"`
+	Engine     string         `json:"engine"`
+	Outputs    int            `json:"outputs"`
+	GOMAXPROCS int            `json:"gomaxprocs"`
+	NumCPU     int            `json:"num_cpu"`
+	Date       string         `json:"date"`
+	Results    []workerResult `json:"results"`
+}
+
+func main() {
+	circuit := flag.String("circuit", "s3384", "Table-1 spec name for the miter pair")
+	workerList := flag.String("workers", "1,2,4,8", "comma-separated worker counts to sweep")
+	iters := flag.Int("iters", 3, "check iterations per worker count")
+	out := flag.String("out", "BENCH_cec.json", "output JSON path (- for stdout)")
+	// Default to the sat engine: on an equivalent pair the hybrid
+	// engine's fraig stage collapses most miters structurally, leaving
+	// the worker pool idle — sat-only keeps one real SAT proof per
+	// output, which is the parallel hot path this harness tracks.
+	engine := flag.String("engine", "sat", "combinational engine: hybrid or sat")
+	flag.Parse()
+
+	h, j, err := prepareHJ(*circuit)
+	if err != nil {
+		fatal(err)
+	}
+	rep := report{
+		Circuit:    *circuit,
+		Engine:     *engine,
+		Outputs:    len(h.Outputs),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Date:       time.Now().UTC().Format(time.RFC3339),
+	}
+
+	var baseline int64
+	for _, field := range strings.Split(*workerList, ",") {
+		w, err := strconv.Atoi(strings.TrimSpace(field))
+		if err != nil || w < 1 {
+			fatal(fmt.Errorf("bad worker count %q", field))
+		}
+		wr := workerResult{Workers: w, Iters: *iters, MinNSOp: 1<<63 - 1}
+		var total int64
+		for it := 0; it < *iters; it++ {
+			start := time.Now()
+			res, err := cec.Check(h, j, cec.Options{Engine: *engine, Workers: w})
+			if err != nil {
+				fatal(err)
+			}
+			ns := time.Since(start).Nanoseconds()
+			total += ns
+			if ns < wr.MinNSOp {
+				wr.MinNSOp = ns
+			}
+			wr.SATCalls = res.SATCalls
+			wr.Conflicts = res.Stats.Conflicts
+			wr.Verdict = res.Verdict.String()
+			if res.Verdict != cec.Equivalent {
+				fatal(fmt.Errorf("workers=%d: verdict %v on equivalent pair", w, res.Verdict))
+			}
+		}
+		wr.MeanNSOp = total / int64(*iters)
+		if baseline == 0 {
+			baseline = wr.MinNSOp
+		}
+		wr.Speedup = float64(baseline) / float64(wr.MinNSOp)
+		rep.Results = append(rep.Results, wr)
+		fmt.Fprintf(os.Stderr, "workers=%d  %v/op  speedup %.2fx\n",
+			w, time.Duration(wr.MinNSOp).Round(time.Microsecond), wr.Speedup)
+	}
+
+	data, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	data = append(data, '\n')
+	if *out == "-" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fatal(err)
+	}
+}
+
+// prepareHJ mirrors the bench harness: generate the spec'd circuit,
+// prepare (expose feedback), optimize via retiming + synthesis, and CBF-
+// unroll both sides into the combinational pair H vs J of Figure 19.
+func prepareHJ(name string) (*netlist.Circuit, *netlist.Circuit, error) {
+	var sp bench.Spec
+	found := false
+	for _, s := range bench.Table1Specs {
+		if s.Name == name {
+			sp, found = s, true
+		}
+	}
+	if !found {
+		return nil, nil, fmt.Errorf("unknown Table-1 spec %q", name)
+	}
+	a := bench.Generate(sp)
+	prep, err := core.Prepare(a, core.PrepareOptions{})
+	if err != nil {
+		return nil, nil, err
+	}
+	syn, err := synth.Optimize(prep.Circuit, synth.DefaultScript())
+	if err != nil {
+		return nil, nil, err
+	}
+	rt, err := retime.MinPeriod(syn)
+	if err != nil {
+		return nil, nil, err
+	}
+	h, err := cbf.Unroll(prep.Circuit)
+	if err != nil {
+		return nil, nil, err
+	}
+	j, err := cbf.Unroll(rt.Circuit)
+	if err != nil {
+		return nil, nil, err
+	}
+	return h, j, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "cecbench:", err)
+	os.Exit(1)
+}

@@ -3,7 +3,9 @@
 //
 // Usage:
 //
-//	seqver [-acyclic] [-rewrite] [-engine hybrid|sat|bdd] golden.blif revised.blif
+//	seqver [-acyclic] [-rewrite] [-engine hybrid|sat|bdd] [-workers N]
+//	       [-sim-rounds N] [-sim-words N] [-stats] [-stats-json FILE]
+//	       golden.blif revised.blif
 //
 // Without -acyclic, feedback latches are exposed (by name, consistently
 // on both sides) before unrolling; with it both circuits must already be
@@ -11,6 +13,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -23,6 +26,12 @@ func main() {
 	rewrite := flag.Bool("rewrite", false, "enable Eq. 5 event rewriting (EDBF path)")
 	engine := flag.String("engine", "hybrid", "combinational engine: hybrid, sat, or bdd")
 	unateAware := flag.Bool("unate", false, "re-model positive-unate self-loops before exposing")
+	workers := flag.Int("workers", 0, "parallel miter/simulation workers (0: GOMAXPROCS)")
+	simRounds := flag.Int("sim-rounds", 0, "stage-1 random simulation rounds (0: default 8, negative: skip)")
+	simWords := flag.Int("sim-words", 0, "64-pattern words per simulation round (0: default 4)")
+	maxConflicts := flag.Int64("max-conflicts", 0, "SAT conflict budget per miter (0: default 200000)")
+	stats := flag.Bool("stats", false, "print per-stage engine statistics")
+	statsJSON := flag.String("stats-json", "", "write engine statistics as JSON to FILE (- for stdout)")
 	flag.Parse()
 	if flag.NArg() != 2 {
 		fmt.Fprintln(os.Stderr, "usage: seqver [flags] golden.blif revised.blif")
@@ -32,7 +41,13 @@ func main() {
 	c1 := load(flag.Arg(0))
 	c2 := load(flag.Arg(1))
 
-	opt := seqver.Options{Rewrite: *rewrite, CEC: seqver.CECOptions{Engine: *engine}}
+	opt := seqver.Options{Rewrite: *rewrite, CEC: seqver.CECOptions{
+		Engine:           *engine,
+		Workers:          *workers,
+		SimRounds:        *simRounds,
+		SimWordsPerRound: *simWords,
+		MaxConflicts:     *maxConflicts,
+	}}
 	var rep *seqver.Report
 	var err error
 	if *acyclic {
@@ -48,6 +63,13 @@ func main() {
 	fmt.Printf("depth:    %d\n", rep.Depth)
 	fmt.Printf("unrolled: %d / %d gates\n", rep.UnrolledGates[0], rep.UnrolledGates[1])
 	fmt.Printf("verdict:  %v  (%v, %d SAT calls)\n", rep.Result.Verdict, rep.Elapsed.Round(1e6), rep.Result.SATCalls)
+	if *stats && rep.Result.Stats != nil {
+		fmt.Println("--- engine stats ---")
+		fmt.Print(rep.Result.Stats)
+	}
+	if *statsJSON != "" && rep.Result.Stats != nil {
+		writeStatsJSON(*statsJSON, rep.Result.Stats)
+	}
 	switch rep.Result.Verdict {
 	case seqver.Inequivalent:
 		fmt.Printf("failing output: %s\n", rep.Result.FailingOutput)
@@ -82,6 +104,23 @@ func conservativeTag(rep *seqver.Report) string {
 		return " (conservative: inequivalence may be a false negative)"
 	}
 	return ""
+}
+
+func writeStatsJSON(path string, st *seqver.CECStats) {
+	data, err := json.MarshalIndent(st, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "seqver:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if path == "-" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "seqver:", err)
+		os.Exit(1)
+	}
 }
 
 func b2i(b bool) int {

@@ -13,6 +13,19 @@ type FraigOptions struct {
 	MaxConflicts int64 // SAT budget per proof; Unknown keeps nodes separate
 	MaxClassSize int   // candidates compared per signature class
 	Seed         int64
+	// Workers shards the signature simulation pass across goroutines
+	// (level-batched, see SimSchedule). The merge loop itself stays
+	// sequential — it owns the SAT solver. 0 or 1 means serial.
+	Workers int
+}
+
+// FraigStats reports what a functional-reduction pass accomplished.
+type FraigStats struct {
+	NodesBefore int // AND nodes in the input AIG
+	NodesAfter  int // AND nodes after merging and compaction
+	Merges      int // nodes merged into a proven-equivalent representative
+	ProveCalls  int // SAT equivalence proofs attempted
+	ProveFailed int // candidates kept separate (refuted or budget hit)
 }
 
 func (o *FraigOptions) defaults() {
@@ -34,13 +47,17 @@ func (o *FraigOptions) defaults() {
 // returned AIG is compacted to the output cones and function-identical to
 // the input.
 func Fraig(a *AIG, opt FraigOptions) *AIG {
+	out, _ := FraigEx(a, opt)
+	return out
+}
+
+// FraigEx is Fraig returning reduction statistics alongside the AIG.
+func FraigEx(a *AIG, opt FraigOptions) (*AIG, *FraigStats) {
 	opt.defaults()
 	rng := rand.New(rand.NewSource(opt.Seed + 1))
 	k := opt.SimWords
+	stats := &FraigStats{NodesBefore: a.NumAnds()}
 
-	out := New(a.PINames())
-	// Per new-AIG node: k signature words.
-	sig := [][]uint64{make([]uint64, k)} // constant node: all zeros
 	piPatterns := make([][]uint64, a.numPIs)
 	for i := range piPatterns {
 		ws := make([]uint64, k)
@@ -48,26 +65,37 @@ func Fraig(a *AIG, opt FraigOptions) *AIG {
 			ws[j] = rng.Uint64()
 		}
 		piPatterns[i] = ws
-		sig = append(sig, ws)
 	}
-	edgeSig := func(e Lit, j int) uint64 {
-		w := sig[e.Node()][j]
-		if e.Compl() {
-			return ^w
-		}
-		return w
+	// Signature pass: every new-AIG node below is function-identical to
+	// the input node it is created for (representatives preserve
+	// functions exactly), so all signatures can be precomputed on the
+	// input AIG in one sharded sweep instead of word-by-word inside the
+	// sequential merge loop.
+	var sch *SimSchedule
+	if opt.Workers > 1 {
+		sch = a.NewSimSchedule()
 	}
+	sigIn := a.SimWordsK(sch, piPatterns, k, opt.Workers)
+
+	out := New(a.PINames())
+	// Per new-AIG node: k signature words (const + PIs match the input
+	// AIG's leading nodes exactly).
+	sig := make([][]uint64, 0, a.NumNodes())
+	sig = append(sig, sigIn[:a.numPIs+1]...)
 
 	solver := sat.New(0)
 	cnf := &CNFMap{VarOf: make(map[uint32]int)}
 	prove := func(x, y Lit) bool {
+		stats.ProveCalls++
 		lx := out.Encode(solver, cnf, x)
 		ly := out.Encode(solver, cnf, y)
 		solver.MaxConflicts = opt.MaxConflicts
-		if solver.Solve(lx, ly.Not()) != sat.Unsat {
-			return false
+		ok := solver.Solve(lx, ly.Not()) == sat.Unsat &&
+			solver.Solve(lx.Not(), ly) == sat.Unsat
+		if !ok {
+			stats.ProveFailed++
 		}
-		return solver.Solve(lx.Not(), ly) == sat.Unsat
+		return ok
 	}
 
 	// normEdge returns the polarity-normalized edge of a node (bit 0 of
@@ -110,12 +138,9 @@ func Fraig(a *AIG, opt FraigOptions) *AIG {
 		e := out.And(f0, f1)
 		nd := e.Node()
 		if int(nd) >= len(sig) {
-			// Fresh structural node: simulate, then try to merge.
-			ws := make([]uint64, k)
-			for j := 0; j < k; j++ {
-				ws[j] = edgeSig(out.fanin0[nd], j) & edgeSig(out.fanin1[nd], j)
-			}
-			sig = append(sig, ws)
+			// Fresh structural node: function-identical to input node i,
+			// so its signature was already computed in the sharded pass.
+			sig = append(sig, sigIn[i])
 			me := normEdge(nd)
 			key := classKey(nd)
 			merged := false
@@ -128,6 +153,7 @@ func Fraig(a *AIG, opt FraigOptions) *AIG {
 					// normalization polarity.
 					e = cand.NotIf(me.Compl()).NotIf(e.Compl())
 					merged = true
+					stats.Merges++
 					break
 				}
 			}
@@ -141,7 +167,9 @@ func Fraig(a *AIG, opt FraigOptions) *AIG {
 		p := a.PO(i)
 		out.AddPO(a.POName(i), repr[p.Node()].NotIf(p.Compl()))
 	}
-	return Compact(out)
+	res := Compact(out)
+	stats.NodesAfter = res.NumAnds()
+	return res, stats
 }
 
 func sameSig(sig [][]uint64, x, y Lit, k int) bool {

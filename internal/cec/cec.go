@@ -14,14 +14,12 @@ package cec
 
 import (
 	"fmt"
-	"math/rand"
 	"sort"
 	"time"
 
 	"seqver/internal/aig"
 	"seqver/internal/bdd"
 	"seqver/internal/netlist"
-	"seqver/internal/sat"
 )
 
 // Verdict is the outcome of an equivalence check.
@@ -56,6 +54,19 @@ type Options struct {
 	// BDDLimit bounds the BDD engine's node count (0: default 2M).
 	BDDLimit int
 	Seed     int64
+	// Workers sets the engine parallelism: output miters are proved
+	// concurrently (one SAT solver and CNF map per worker over the
+	// shared read-only AIG), the fraig signature pass is sharded, and
+	// stage-1 simulation rounds run as parallel batches. 0 selects
+	// runtime.GOMAXPROCS(0); 1 forces the serial path. Verdicts do not
+	// depend on the worker count.
+	Workers int
+	// SimRounds is the number of stage-1 random-simulation rounds
+	// (0: default 8; negative: skip stage 1).
+	SimRounds int
+	// SimWordsPerRound is the number of 64-pattern words simulated per
+	// stage-1 round (0: default 4, i.e. 256 patterns per round).
+	SimWordsPerRound int
 }
 
 // Result reports the verdict with diagnostics.
@@ -66,6 +77,7 @@ type Result struct {
 	Outputs        int             // outputs compared
 	SATCalls       int
 	Elapsed        time.Duration
+	Stats          *Stats // per-stage engine accounting, always populated
 }
 
 // Check decides name-aligned combinational equivalence of c1 and c2.
@@ -83,12 +95,24 @@ func Check(c1, c2 *netlist.Circuit, opt Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	res := &Result{Outputs: len(pos1)}
-	defer func() { res.Elapsed = time.Since(start) }()
+	engine := opt.Engine
+	if engine == "" {
+		engine = "hybrid"
+	}
+	res := &Result{
+		Outputs: len(pos1),
+		Stats:   &Stats{Engine: engine, Outputs: len(pos1), Workers: 1},
+	}
+	defer func() {
+		res.Elapsed = time.Since(start)
+		res.Stats.ElapsedNS = res.Elapsed.Nanoseconds()
+	}()
 
-	switch opt.Engine {
-	case "", "hybrid", "sat":
-		return checkSAT(a, piNames, pos1, pos2, c1, opt, res, opt.Engine != "sat")
+	switch engine {
+	case "hybrid", "sat":
+		names := c1.OutputNames()
+		sort.Strings(names)
+		return checkSAT(a, piNames, pos1, pos2, names, opt, res, engine != "sat")
 	case "bdd":
 		return checkBDD(a, piNames, pos1, pos2, opt, res)
 	default:
@@ -221,113 +245,6 @@ func gateToAIG(a *aig.AIG, n *netlist.Node, in []aig.Lit) aig.Lit {
 	panic("cec: unknown op " + n.Op.String())
 }
 
-func checkSAT(a *aig.AIG, piNames []string, pos1, pos2 []aig.Lit,
-	c1 *netlist.Circuit, opt Options, res *Result, useFraig bool) (*Result, error) {
-	rng := rand.New(rand.NewSource(opt.Seed + 5))
-	names := c1.OutputNames()
-	sort.Strings(names)
-
-	// Stage 1: random simulation looks for cheap counterexamples.
-	for round := 0; round < 8; round++ {
-		words := a.RandomWords(rng)
-		w := a.SimWords(words)
-		for i := range pos1 {
-			diff := aig.LitWord(w, pos1[i]) ^ aig.LitWord(w, pos2[i])
-			if diff != 0 {
-				bit := 0
-				for ; bit < 64; bit++ {
-					if diff&(1<<uint(bit)) != 0 {
-						break
-					}
-				}
-				res.Verdict = Inequivalent
-				res.FailingOutput = names[i]
-				res.Counterexample = cexFromWords(piNames, words, bit)
-				return res, nil
-			}
-		}
-	}
-
-	// Stage 2: SAT-sweeping merges internal equivalences so that the
-	// output miters collapse structurally where the circuits are similar.
-	if useFraig {
-		af := aig.Fraig(a, aig.FraigOptions{Seed: opt.Seed, MaxConflicts: 1000})
-		// Recover per-output edges from the fraiged AIG's POs.
-		a = af
-		for i := 0; i < len(pos1); i++ {
-			pos1[i] = a.PO(2 * i)
-			pos2[i] = a.PO(2*i + 1)
-		}
-	}
-
-	// Stage 3: one SAT miter per output.
-	maxConf := opt.MaxConflicts
-	if maxConf == 0 {
-		maxConf = 200000
-	}
-	solver := sat.New(0)
-	cnf := &aig.CNFMap{VarOf: map[uint32]int{}}
-	undecided := false
-	for i := range pos1 {
-		if pos1[i] == pos2[i] {
-			continue
-		}
-		l1 := a.Encode(solver, cnf, pos1[i])
-		l2 := a.Encode(solver, cnf, pos2[i])
-		solver.MaxConflicts = maxConf
-		res.SATCalls++
-		st, model := solver.SolveModel(l1, l2.Not())
-		if st == sat.Sat {
-			res.Verdict = Inequivalent
-			res.FailingOutput = names[i]
-			res.Counterexample = cexFromModel(a, piNames, cnf, model)
-			return res, nil
-		}
-		if st == sat.Unknown {
-			undecided = true
-			continue
-		}
-		res.SATCalls++
-		st, model = solver.SolveModel(l1.Not(), l2)
-		if st == sat.Sat {
-			res.Verdict = Inequivalent
-			res.FailingOutput = names[i]
-			res.Counterexample = cexFromModel(a, piNames, cnf, model)
-			return res, nil
-		}
-		if st == sat.Unknown {
-			undecided = true
-		}
-	}
-	if undecided {
-		res.Verdict = Undecided
-	} else {
-		res.Verdict = Equivalent
-	}
-	return res, nil
-}
-
-func cexFromWords(piNames []string, words []uint64, bit int) map[string]bool {
-	out := make(map[string]bool, len(piNames))
-	for i, n := range piNames {
-		out[n] = words[i]&(1<<uint(bit)) != 0
-	}
-	return out
-}
-
-func cexFromModel(a *aig.AIG, piNames []string, cnf *aig.CNFMap, model []bool) map[string]bool {
-	out := make(map[string]bool, len(piNames))
-	for i, n := range piNames {
-		node := a.PI(i).Node()
-		if v, ok := cnf.VarOf[node]; ok && v < len(model) {
-			out[n] = model[v]
-		} else {
-			out[n] = false
-		}
-	}
-	return out
-}
-
 func checkBDD(a *aig.AIG, piNames []string, pos1, pos2 []aig.Lit,
 	opt Options, res *Result) (*Result, error) {
 	limit := opt.BDDLimit
@@ -364,11 +281,7 @@ func checkBDD(a *aig.AIG, piNames []string, pos1, pos2 []aig.Lit,
 			res.Verdict = Inequivalent
 			// Extract a counterexample from the difference function.
 			diffSat := m.AnySat(m.Xor(b1, b2))
-			cex := make(map[string]bool, len(piNames))
-			for j, n := range piNames {
-				cex[n] = diffSat[j]
-			}
-			res.Counterexample = cex
+			res.Counterexample = cexAssign(piNames, func(j int) bool { return diffSat[j] })
 			return res, nil
 		}
 	}

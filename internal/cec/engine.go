@@ -1,0 +1,334 @@
+package cec
+
+import (
+	"math/bits"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"seqver/internal/aig"
+	"seqver/internal/sat"
+)
+
+// Stage-1 defaults: rounds x wordsPerRound x 64 random patterns.
+const (
+	defaultSimRounds        = 8
+	defaultSimWordsPerRound = 4
+)
+
+func (o Options) workerCount() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+func (o Options) simShape() (rounds, wordsPerRound int) {
+	rounds = o.SimRounds
+	if rounds == 0 {
+		rounds = defaultSimRounds
+	}
+	if rounds < 0 {
+		rounds = 0
+	}
+	wordsPerRound = o.SimWordsPerRound
+	if wordsPerRound <= 0 {
+		wordsPerRound = defaultSimWordsPerRound
+	}
+	return rounds, wordsPerRound
+}
+
+// checkSAT is the hybrid/sat engine: random simulation, optional fraig
+// sweeping, then one SAT miter per output proved by a worker pool.
+func checkSAT(a *aig.AIG, piNames []string, pos1, pos2 []aig.Lit,
+	names []string, opt Options, res *Result, useFraig bool) (*Result, error) {
+	workers := opt.workerCount()
+	st := res.Stats
+	st.Workers = workers
+
+	// Stage 1: random simulation looks for cheap counterexamples.
+	if hit := simStage(a, pos1, pos2, opt, st); hit != nil {
+		res.Verdict = Inequivalent
+		res.FailingOutput = names[hit.out]
+		res.Counterexample = cexAssign(piNames, func(i int) bool {
+			return hit.piWords[i][hit.word]&(1<<uint(hit.bit)) != 0
+		})
+		return res, nil
+	}
+
+	// Stage 2: SAT-sweeping merges internal equivalences so that the
+	// output miters collapse structurally where the circuits are similar.
+	if useFraig {
+		st.FraigNodesBefore = a.NumAnds()
+		af, fst := aig.FraigEx(a, aig.FraigOptions{
+			Seed: opt.Seed, MaxConflicts: 1000, Workers: workers,
+		})
+		st.FraigNodesAfter = fst.NodesAfter
+		st.FraigMerges = fst.Merges
+		st.FraigProveCalls = fst.ProveCalls
+		// Recover per-output edges from the fraiged AIG's POs.
+		a = af
+		for i := 0; i < len(pos1); i++ {
+			pos1[i] = a.PO(2 * i)
+			pos2[i] = a.PO(2*i + 1)
+		}
+	}
+
+	// Stage 3: one SAT miter per output, proved concurrently.
+	maxConf := opt.MaxConflicts
+	if maxConf == 0 {
+		maxConf = 200000
+	}
+	proveMiters(a, piNames, names, pos1, pos2, maxConf, workers, res, st)
+	return res, nil
+}
+
+// simHit locates the first differing pattern found by stage 1:
+// output index, pattern word and bit, and the PI words of its round.
+type simHit struct {
+	round, out, word, bit int
+	piWords               [][]uint64
+}
+
+// less orders hits deterministically so the stage-1 result does not
+// depend on worker scheduling.
+func (h *simHit) less(o *simHit) bool {
+	if h.round != o.round {
+		return h.round < o.round
+	}
+	if h.out != o.out {
+		return h.out < o.out
+	}
+	if h.word != o.word {
+		return h.word < o.word
+	}
+	return h.bit < o.bit
+}
+
+// simStage runs the stage-1 random simulation rounds as parallel
+// batches (each round simulates wordsPerRound*64 patterns in one k-word
+// sweep) and returns the first difference in deterministic order, or
+// nil if no round distinguishes the circuits.
+func simStage(a *aig.AIG, pos1, pos2 []aig.Lit, opt Options, st *Stats) *simHit {
+	rounds, wpr := opt.simShape()
+	st.SimRounds, st.SimWordsPerRound = rounds, wpr
+	st.SimPatterns = int64(rounds) * int64(wpr) * 64
+	if rounds == 0 {
+		return nil
+	}
+	workers := opt.workerCount()
+	if workers > rounds {
+		workers = rounds
+	}
+
+	var mu sync.Mutex
+	var best *simHit
+	next := int32(-1)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				r := int(atomic.AddInt32(&next, 1))
+				if r >= rounds {
+					return
+				}
+				// Seed per round, not per worker: the simulated
+				// patterns are identical for every worker count.
+				rng := rand.New(rand.NewSource(opt.Seed*1_000_003 + int64(r)*7919 + 5))
+				piWords := make([][]uint64, a.NumPIs())
+				for i := range piWords {
+					ws := make([]uint64, wpr)
+					for j := range ws {
+						ws[j] = rng.Uint64()
+					}
+					piWords[i] = ws
+				}
+				w := a.SimWordsK(nil, piWords, wpr, 1)
+				for i := range pos1 {
+					w1, w2 := w[pos1[i].Node()], w[pos2[i].Node()]
+					x1, x2 := flipMask(pos1[i]), flipMask(pos2[i])
+					for j := 0; j < wpr; j++ {
+						diff := (w1[j] ^ x1) ^ (w2[j] ^ x2)
+						if diff == 0 {
+							continue
+						}
+						hit := &simHit{round: r, out: i, word: j,
+							bit: bits.TrailingZeros64(diff), piWords: piWords}
+						mu.Lock()
+						st.SimCexHits++
+						if best == nil || hit.less(best) {
+							best = hit
+						}
+						mu.Unlock()
+						break
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return best
+}
+
+// flipMask returns the all-ones word for complemented edges.
+func flipMask(l aig.Lit) uint64 {
+	if l.Compl() {
+		return ^uint64(0)
+	}
+	return 0
+}
+
+// miterWin is the first counterexample found by the worker pool.
+type miterWin struct {
+	out int
+	cex map[string]bool
+}
+
+// proveMiters discharges one miter per output on a pool of workers.
+// Each worker owns a SAT solver and CNF map over the shared read-only
+// AIG; the first counterexample wins and cancels the remaining work via
+// an atomic stop flag. Per-output and per-worker accounting lands in st.
+func proveMiters(a *aig.AIG, piNames, names []string, pos1, pos2 []aig.Lit,
+	maxConf int64, workers int, res *Result, st *Stats) {
+	n := len(pos1)
+	perOut := make([]OutputStats, n)
+	var pending []int
+	for i := range perOut {
+		perOut[i] = OutputStats{Name: names[i], Worker: -1}
+		if pos1[i] == pos2[i] {
+			perOut[i].Status = "structural"
+			st.StructuralEqual++
+		} else {
+			perOut[i].Status = "skipped"
+			pending = append(pending, i)
+		}
+	}
+	if workers > len(pending) {
+		workers = len(pending)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	var stop atomic.Bool
+	var undecided atomic.Bool
+	var mu sync.Mutex
+	var win *miterWin
+	busy := make([]int64, workers)
+	jobs := make(chan int)
+	start := time.Now()
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			solver := sat.New(0)
+			cnf := &aig.CNFMap{VarOf: map[uint32]int{}}
+			for i := range jobs {
+				if stop.Load() {
+					continue // drain: leave the miter marked skipped
+				}
+				t0 := time.Now()
+				o := &perOut[i]
+				o.Worker = w
+				l1 := a.Encode(solver, cnf, pos1[i])
+				l2 := a.Encode(solver, cnf, pos2[i])
+				solver.MaxConflicts = maxConf
+
+				status := "equal"
+				var cex map[string]bool
+				for pass := 0; pass < 2; pass++ {
+					a1, a2 := l1, l2.Not()
+					if pass == 1 {
+						a1, a2 = l1.Not(), l2
+					}
+					verdict, model := solver.SolveModel(a1, a2)
+					o.SATCalls++
+					o.Conflicts += solver.LastConflicts()
+					o.Decisions += solver.LastDecisions()
+					if verdict == sat.Sat {
+						status = "cex"
+						cex = cexFromModel(a, piNames, cnf, model)
+						break
+					}
+					if verdict == sat.Unknown {
+						status = "undecided"
+						break
+					}
+				}
+				o.Status = status
+				o.TimeNS = time.Since(t0).Nanoseconds()
+				busy[w] += o.TimeNS
+				switch status {
+				case "cex":
+					mu.Lock()
+					if win == nil {
+						win = &miterWin{out: i, cex: cex}
+					}
+					mu.Unlock()
+					stop.Store(true)
+				case "undecided":
+					undecided.Store(true)
+				}
+			}
+		}(w)
+	}
+	for _, i := range pending {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+
+	wall := time.Since(start).Nanoseconds()
+	st.PerOutput = perOut
+	st.WorkerBusyNS = busy
+	if wall > 0 && workers > 0 {
+		var sum int64
+		for _, b := range busy {
+			sum += b
+		}
+		st.Utilization = float64(sum) / (float64(wall) * float64(workers))
+	}
+	for i := range perOut {
+		st.SATCalls += perOut[i].SATCalls
+		st.Conflicts += perOut[i].Conflicts
+		st.Decisions += perOut[i].Decisions
+	}
+	res.SATCalls = st.SATCalls
+
+	switch {
+	case win != nil:
+		res.Verdict = Inequivalent
+		res.FailingOutput = names[win.out]
+		res.Counterexample = win.cex
+	case undecided.Load():
+		res.Verdict = Undecided
+	default:
+		res.Verdict = Equivalent
+	}
+}
+
+// cexAssign builds a named counterexample from any per-PI value source —
+// the one helper shared by the simulation, SAT-model, and BDD paths.
+func cexAssign(piNames []string, val func(i int) bool) map[string]bool {
+	out := make(map[string]bool, len(piNames))
+	for i, n := range piNames {
+		out[n] = val(i)
+	}
+	return out
+}
+
+func cexFromModel(a *aig.AIG, piNames []string, cnf *aig.CNFMap, model []bool) map[string]bool {
+	return cexAssign(piNames, func(i int) bool {
+		node := a.PI(i).Node()
+		if v, ok := cnf.VarOf[node]; ok && v < len(model) {
+			return model[v]
+		}
+		return false
+	})
+}

@@ -1,0 +1,80 @@
+package cec
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Stats is the engine observability layer: one record per Check call,
+// covering all three stages (random simulation, fraig sweeping, SAT
+// miter proofs) plus worker-pool utilization. It marshals to JSON for
+// the bench harness (cmd/cecbench) and prints a human-readable summary
+// for `cmd/seqver -stats`.
+type Stats struct {
+	Engine           string `json:"engine"`
+	Workers          int    `json:"workers"`
+	Outputs          int    `json:"outputs"`
+	SimRounds        int    `json:"sim_rounds"`
+	SimWordsPerRound int    `json:"sim_words_per_round"`
+	SimPatterns      int64  `json:"sim_patterns"` // input vectors simulated in stage 1
+	SimCexHits       int    `json:"sim_cex_hits"` // stage-1 rounds that exposed a difference
+
+	FraigNodesBefore int `json:"fraig_nodes_before"`
+	FraigNodesAfter  int `json:"fraig_nodes_after"`
+	FraigMerges      int `json:"fraig_merges"`
+	FraigProveCalls  int `json:"fraig_prove_calls"`
+
+	StructuralEqual int   `json:"structural_equal"` // miters discharged without SAT
+	SATCalls        int   `json:"sat_calls"`
+	Conflicts       int64 `json:"conflicts"`
+	Decisions       int64 `json:"decisions"`
+
+	PerOutput    []OutputStats `json:"per_output,omitempty"`
+	WorkerBusyNS []int64       `json:"worker_busy_ns,omitempty"`
+	Utilization  float64       `json:"utilization"` // mean busy fraction of the miter-stage wall time
+	ElapsedNS    int64         `json:"elapsed_ns"`
+}
+
+// OutputStats is the per-output miter accounting.
+type OutputStats struct {
+	Name      string `json:"name"`
+	Status    string `json:"status"` // structural | equal | cex | undecided | skipped
+	SATCalls  int    `json:"sat_calls"`
+	Conflicts int64  `json:"conflicts"`
+	Decisions int64  `json:"decisions"`
+	TimeNS    int64  `json:"time_ns"`
+	Worker    int    `json:"worker"` // pool worker that proved this miter (-1: none)
+}
+
+// String renders the summary block printed by `cmd/seqver -stats`.
+func (s *Stats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "engine:      %s (%d workers)\n", s.Engine, s.Workers)
+	fmt.Fprintf(&b, "outputs:     %d (%d structural)\n", s.Outputs, s.StructuralEqual)
+	fmt.Fprintf(&b, "simulation:  %d rounds x %d words (%d patterns), %d cex hits\n",
+		s.SimRounds, s.SimWordsPerRound, s.SimPatterns, s.SimCexHits)
+	if s.FraigNodesBefore > 0 {
+		fmt.Fprintf(&b, "fraig:       %d -> %d AND nodes, %d merges (%d proofs)\n",
+			s.FraigNodesBefore, s.FraigNodesAfter, s.FraigMerges, s.FraigProveCalls)
+	}
+	fmt.Fprintf(&b, "sat:         %d calls, %d conflicts, %d decisions\n",
+		s.SATCalls, s.Conflicts, s.Decisions)
+	fmt.Fprintf(&b, "utilization: %.0f%% over %v\n",
+		s.Utilization*100, time.Duration(s.ElapsedNS).Round(time.Microsecond))
+	if len(s.PerOutput) > 0 {
+		hard := append([]OutputStats(nil), s.PerOutput...)
+		sort.Slice(hard, func(i, j int) bool { return hard[i].Conflicts > hard[j].Conflicts })
+		n := len(hard)
+		if n > 5 {
+			n = 5
+		}
+		fmt.Fprintf(&b, "hardest miters:\n")
+		for _, o := range hard[:n] {
+			fmt.Fprintf(&b, "  %-20s %-10s %6d conflicts %8v\n",
+				o.Name, o.Status, o.Conflicts, time.Duration(o.TimeNS).Round(time.Microsecond))
+		}
+	}
+	return b.String()
+}

@@ -98,8 +98,9 @@ type Solver struct {
 	// Budget: conflicts allowed per Solve call; <= 0 means unlimited.
 	MaxConflicts int64
 	conflicts    int64
+	decisions    int64
 
-	// Stats
+	// Stats accumulates counters across the solver's lifetime.
 	Stats struct {
 		Decisions, Propagations, Conflicts, Learned, Restarts int64
 	}
@@ -466,6 +467,7 @@ func (s *Solver) solve(assumptions ...Lit) Status {
 		return Unsat
 	}
 	s.conflicts = 0
+	s.decisions = 0
 	restartNum := int64(1)
 	restartLimit := luby(restartNum) * 64
 
@@ -531,6 +533,7 @@ func (s *Solver) solve(assumptions ...Lit) Status {
 			return Sat
 		}
 		s.Stats.Decisions++
+		s.decisions++
 		s.trailLm = append(s.trailLm, int32(len(s.trail)))
 		s.enqueue(l, -1)
 	}
@@ -550,6 +553,14 @@ func (s *Solver) SolveModel(assumptions ...Lit) (Status, []bool) {
 	}
 	return st, s.lastModel
 }
+
+// LastConflicts returns the conflict count of the most recent Solve
+// call (as opposed to Stats.Conflicts, which accumulates over the
+// solver's lifetime). The CEC engine uses it for per-miter accounting.
+func (s *Solver) LastConflicts() int64 { return s.conflicts }
+
+// LastDecisions returns the decision count of the most recent Solve call.
+func (s *Solver) LastDecisions() int64 { return s.decisions }
 
 // Model returns variable v's value in the most recent Sat result.
 func (s *Solver) Model(v int) bool {

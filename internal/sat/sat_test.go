@@ -323,3 +323,29 @@ func TestUnsatVerdictStable(t *testing.T) {
 		t.Fatalf("verdicts: %v then %v", first, second)
 	}
 }
+
+func TestPerCallCounters(t *testing.T) {
+	// Pigeonhole needs real search: the per-call counters must move,
+	// reset between calls, and stay consistent with lifetime Stats.
+	s := pigeonhole(5)
+	if st := s.Solve(); st != Unsat {
+		t.Fatalf("PHP = %v", st)
+	}
+	c1, d1 := s.LastConflicts(), s.LastDecisions()
+	if c1 == 0 || d1 == 0 {
+		t.Fatalf("counters did not move: conflicts=%d decisions=%d", c1, d1)
+	}
+	if s.Stats.Conflicts < c1 || s.Stats.Decisions < d1 {
+		t.Fatalf("lifetime stats %+v below per-call (%d, %d)", s.Stats, c1, d1)
+	}
+
+	// A trivial instance must reset the counters to (near) zero.
+	s2 := New(2)
+	s2.AddClause(MkLit(0, false))
+	if st := s2.Solve(); st != Sat {
+		t.Fatal("trivial instance not SAT")
+	}
+	if s2.LastConflicts() != 0 {
+		t.Fatalf("trivial solve reported %d conflicts", s2.LastConflicts())
+	}
+}

@@ -114,6 +114,10 @@ type CECOptions = cec.Options
 // CECResult is the combinational checker's verdict and diagnostics.
 type CECResult = cec.Result
 
+// CECStats is the engine's per-stage observability record (simulation,
+// fraig, SAT worker pool); see cec.Stats.
+type CECStats = cec.Stats
+
 // Verdicts.
 const (
 	Equivalent   = cec.Equivalent
