@@ -6,9 +6,15 @@
 // count plus the speedup over the 1-worker baseline) so successive PRs
 // can compare against the same harness.
 //
+// With -budgets, it additionally sweeps wall-clock budgets on the same
+// miter pair (one worker-count column per run) and records, per budget,
+// the verdict and how many outputs were left undecided — the graceful-
+// degradation ablation of EXPERIMENTS.md (a 0 entry means unbudgeted).
+//
 // Usage:
 //
-//	cecbench [-circuit s3384] [-workers 1,2,4,8] [-iters 3] [-out BENCH_cec.json]
+//	cecbench [-circuit s3384] [-workers 1,2,4,8] [-iters 3]
+//	         [-budgets 5ms,20ms,80ms,0] [-out BENCH_cec.json]
 package main
 
 import (
@@ -41,14 +47,25 @@ type workerResult struct {
 	Verdict   string  `json:"verdict"`
 }
 
+type budgetResult struct {
+	Budget    string `json:"budget"` // "0" means unbudgeted
+	Iters     int    `json:"iters"`
+	MeanNSOp  int64  `json:"mean_ns_op"`
+	MaxNSOp   int64  `json:"max_ns_op"` // must stay near the budget: the degradation guarantee
+	Verdict   string `json:"verdict"`   // from the last iteration
+	Undecided int    `json:"undecided_outputs"`
+	SATCalls  int    `json:"sat_calls"`
+}
+
 type report struct {
-	Circuit    string         `json:"circuit"`
-	Engine     string         `json:"engine"`
-	Outputs    int            `json:"outputs"`
-	GOMAXPROCS int            `json:"gomaxprocs"`
-	NumCPU     int            `json:"num_cpu"`
-	Date       string         `json:"date"`
-	Results    []workerResult `json:"results"`
+	Circuit     string         `json:"circuit"`
+	Engine      string         `json:"engine"`
+	Outputs     int            `json:"outputs"`
+	GOMAXPROCS  int            `json:"gomaxprocs"`
+	NumCPU      int            `json:"num_cpu"`
+	Date        string         `json:"date"`
+	Results     []workerResult `json:"results"`
+	BudgetSweep []budgetResult `json:"budget_sweep,omitempty"`
 }
 
 func main() {
@@ -60,7 +77,8 @@ func main() {
 	// engine's fraig stage collapses most miters structurally, leaving
 	// the worker pool idle — sat-only keeps one real SAT proof per
 	// output, which is the parallel hot path this harness tracks.
-	engine := flag.String("engine", "sat", "combinational engine: hybrid or sat")
+	engine := flag.String("engine", "sat", "combinational engine: hybrid, sat, bdd, or portfolio")
+	budgets := flag.String("budgets", "", "comma-separated wall-clock budgets to sweep (e.g. 5ms,20ms,80ms,0; 0: unbudgeted; empty: skip)")
 	flag.Parse()
 
 	h, j, err := prepareHJ(*circuit)
@@ -110,6 +128,49 @@ func main() {
 		rep.Results = append(rep.Results, wr)
 		fmt.Fprintf(os.Stderr, "workers=%d  %v/op  speedup %.2fx\n",
 			w, time.Duration(wr.MinNSOp).Round(time.Microsecond), wr.Speedup)
+	}
+
+	if *budgets != "" {
+		for _, field := range strings.Split(*budgets, ",") {
+			bd, err := time.ParseDuration(strings.TrimSpace(field))
+			if strings.TrimSpace(field) == "0" {
+				bd, err = 0, nil
+			}
+			if err != nil || bd < 0 {
+				fatal(fmt.Errorf("bad budget %q", field))
+			}
+			br := budgetResult{Budget: bd.String(), Iters: *iters}
+			if bd == 0 {
+				br.Budget = "0"
+			}
+			var total, max int64
+			for it := 0; it < *iters; it++ {
+				start := time.Now()
+				res, err := cec.Check(h, j, cec.Options{Engine: *engine, Budget: bd})
+				if err != nil {
+					fatal(err)
+				}
+				ns := time.Since(start).Nanoseconds()
+				total += ns
+				if ns > max {
+					max = ns
+				}
+				br.Verdict = res.Verdict.String()
+				br.Undecided = len(res.UndecidedOutputs)
+				br.SATCalls = res.SATCalls
+				// Unlike the worker sweep, Undecided is an expected outcome
+				// here — the sweep exists to chart it; Inequivalent on an
+				// equivalent pair is still a bug.
+				if res.Verdict == cec.Inequivalent {
+					fatal(fmt.Errorf("budget=%v: verdict %v on equivalent pair", bd, res.Verdict))
+				}
+			}
+			br.MeanNSOp = total / int64(*iters)
+			br.MaxNSOp = max
+			rep.BudgetSweep = append(rep.BudgetSweep, br)
+			fmt.Fprintf(os.Stderr, "budget=%-6s %v/op  %s (%d undecided)\n",
+				br.Budget, time.Duration(br.MeanNSOp).Round(time.Microsecond), br.Verdict, br.Undecided)
+		}
 	}
 
 	data, err := json.MarshalIndent(&rep, "", "  ")

@@ -3,13 +3,18 @@
 //
 // Usage:
 //
-//	seqver [-acyclic] [-rewrite] [-engine hybrid|sat|bdd] [-workers N]
-//	       [-sim-rounds N] [-sim-words N] [-stats] [-stats-json FILE]
-//	       golden.blif revised.blif
+//	seqver [-acyclic] [-rewrite] [-engine hybrid|sat|bdd|portfolio]
+//	       [-budget DUR] [-workers N] [-sim-rounds N] [-sim-words N]
+//	       [-stats] [-stats-json FILE] golden.blif revised.blif
 //
 // Without -acyclic, feedback latches are exposed (by name, consistently
 // on both sides) before unrolling; with it both circuits must already be
 // feedback-free.
+//
+// Exit codes: 0 the circuits are equivalent; 1 they are inequivalent
+// (a counterexample was found); 2 the verdict is undecided (resource
+// budget exhausted — rerun with a larger -budget or -max-conflicts);
+// 3 usage or input errors.
 package main
 
 import (
@@ -17,6 +22,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"seqver"
 )
@@ -24,7 +30,8 @@ import (
 func main() {
 	acyclic := flag.Bool("acyclic", false, "circuits are already feedback-free")
 	rewrite := flag.Bool("rewrite", false, "enable Eq. 5 event rewriting (EDBF path)")
-	engine := flag.String("engine", "hybrid", "combinational engine: hybrid, sat, or bdd")
+	engine := flag.String("engine", "hybrid", "combinational engine: hybrid, sat, bdd, or portfolio (race SAT vs BDD per miter)")
+	budget := flag.Duration("budget", 0, "wall-clock budget for the equivalence check (e.g. 500ms, 10s; 0: unbudgeted)")
 	unateAware := flag.Bool("unate", false, "re-model positive-unate self-loops before exposing")
 	workers := flag.Int("workers", 0, "parallel miter/simulation workers (0: GOMAXPROCS)")
 	simRounds := flag.Int("sim-rounds", 0, "stage-1 random simulation rounds (0: default 8, negative: skip)")
@@ -36,13 +43,14 @@ func main() {
 	if flag.NArg() != 2 {
 		fmt.Fprintln(os.Stderr, "usage: seqver [flags] golden.blif revised.blif")
 		flag.PrintDefaults()
-		os.Exit(2)
+		os.Exit(3)
 	}
 	c1 := load(flag.Arg(0))
 	c2 := load(flag.Arg(1))
 
 	opt := seqver.Options{Rewrite: *rewrite, CEC: seqver.CECOptions{
 		Engine:           *engine,
+		Budget:           *budget,
 		Workers:          *workers,
 		SimRounds:        *simRounds,
 		SimWordsPerRound: *simWords,
@@ -57,7 +65,7 @@ func main() {
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "seqver:", err)
-		os.Exit(1)
+		os.Exit(3)
 	}
 	fmt.Printf("method:   %s%s\n", rep.Method, conservativeTag(rep))
 	fmt.Printf("depth:    %d\n", rep.Depth)
@@ -95,9 +103,21 @@ func main() {
 		}
 		os.Exit(1)
 	case seqver.Undecided:
-		os.Exit(3)
+		if un := rep.Result.UndecidedOutputs; len(un) > 0 {
+			fmt.Printf("undecided outputs (%d):\n", len(un))
+			for _, name := range un {
+				fmt.Printf("  %s\n", name)
+			}
+		}
+		if *budget > 0 {
+			fmt.Printf("budget %v exhausted; rerun with a larger -budget to resolve\n",
+				budgetRound(*budget))
+		}
+		os.Exit(2)
 	}
 }
+
+func budgetRound(d time.Duration) time.Duration { return d.Round(time.Millisecond) }
 
 func conservativeTag(rep *seqver.Report) string {
 	if rep.Conservative {
@@ -110,7 +130,7 @@ func writeStatsJSON(path string, st *seqver.CECStats) {
 	data, err := json.MarshalIndent(st, "", "  ")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "seqver:", err)
-		os.Exit(1)
+		os.Exit(3)
 	}
 	data = append(data, '\n')
 	if path == "-" {
@@ -119,7 +139,7 @@ func writeStatsJSON(path string, st *seqver.CECStats) {
 	}
 	if err := os.WriteFile(path, data, 0o644); err != nil {
 		fmt.Fprintln(os.Stderr, "seqver:", err)
-		os.Exit(1)
+		os.Exit(3)
 	}
 }
 
@@ -134,13 +154,13 @@ func load(path string) *seqver.Circuit {
 	f, err := os.Open(path)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "seqver:", err)
-		os.Exit(1)
+		os.Exit(3)
 	}
 	defer f.Close()
 	c, err := seqver.ParseBLIF(f)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "seqver: %s: %v\n", path, err)
-		os.Exit(1)
+		os.Exit(3)
 	}
 	return c
 }

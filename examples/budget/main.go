@@ -1,0 +1,109 @@
+// Budget: graceful degradation under a wall-clock budget. A hard
+// combinational miter (two 8x8 array multipliers accumulating their
+// partial products in opposite row orders — equal functions, disjoint
+// structure) is checked twice: a 50ms budget returns the structured
+// Undecided verdict listing the unresolved outputs, and a generous
+// budget proves equivalence with the same call. Verdicts are
+// budget-dependent but never wrong.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"seqver"
+)
+
+// multiplier builds an n x n ripple-carry array multiplier; reverse
+// flips the partial-product accumulation order.
+func multiplier(n int, reverse bool) *seqver.Circuit {
+	c := seqver.NewCircuit("mul")
+	a := make([]int, n)
+	b := make([]int, n)
+	for i := 0; i < n; i++ {
+		a[i] = c.AddInput(fmt.Sprintf("a%d", i))
+	}
+	for i := 0; i < n; i++ {
+		b[i] = c.AddInput(fmt.Sprintf("b%d", i))
+	}
+	zero := c.AddGate("", seqver.OpConst0)
+	sum := make([]int, 2*n)
+	for k := range sum {
+		sum[k] = zero
+	}
+	for r := 0; r < n; r++ {
+		i := r
+		if reverse {
+			i = n - 1 - r
+		}
+		carry := zero
+		for j := 0; j < n; j++ {
+			pp := c.AddGate("", seqver.OpAnd, a[i], b[j])
+			k := i + j
+			s1 := c.AddGate("", seqver.OpXor, sum[k], pp)
+			s2 := c.AddGate("", seqver.OpXor, s1, carry)
+			c1 := c.AddGate("", seqver.OpAnd, sum[k], pp)
+			c2 := c.AddGate("", seqver.OpAnd, s1, carry)
+			carry = c.AddGate("", seqver.OpOr, c1, c2)
+			sum[k] = s2
+		}
+		for k := i + n; k < 2*n; k++ {
+			s := c.AddGate("", seqver.OpXor, sum[k], carry)
+			carry = c.AddGate("", seqver.OpAnd, sum[k], carry)
+			sum[k] = s
+		}
+	}
+	for k := 0; k < 2*n; k++ {
+		c.AddOutput(fmt.Sprintf("p%d", k), sum[k])
+	}
+	return c
+}
+
+func main() {
+	c1 := multiplier(8, false)
+	c2 := multiplier(8, true)
+
+	// Under a 50ms budget the hard middle product bits cannot be proved:
+	// the check returns promptly with Undecided and names what is left.
+	res, err := seqver.CheckCombinational(c1, c2, seqver.CECOptions{
+		Engine: "portfolio",
+		Budget: 50 * time.Millisecond,
+	})
+	must(err)
+	fmt.Printf("budget 50ms:  %v in %v (%d outputs unresolved: %v ...)\n",
+		res.Verdict, res.Elapsed.Round(time.Millisecond),
+		len(res.UndecidedOutputs), res.UndecidedOutputs[:min(3, len(res.UndecidedOutputs))])
+	if res.Verdict != seqver.Undecided {
+		log.Fatal("budget: expected Undecided under a 50ms budget")
+	}
+
+	// The same call with a generous budget proves every output; the
+	// portfolio race attributes each hard miter to the engine that won.
+	res, err = seqver.CheckCombinational(c1, c2, seqver.CECOptions{
+		Engine: "portfolio",
+		Budget: 5 * time.Minute,
+	})
+	must(err)
+	fmt.Printf("budget 5m:    %v in %v\n", res.Verdict, res.Elapsed.Round(time.Millisecond))
+	if p := res.Stats.Portfolio; p != nil {
+		fmt.Printf("portfolio:    sat %d wins, bdd %d wins, %d unresolved\n",
+			p.SATWins, p.BDDWins, p.Unresolved)
+	}
+	if res.Verdict != seqver.Equivalent {
+		log.Fatal("budget: expected Equivalent under a generous budget")
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

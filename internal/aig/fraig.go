@@ -1,6 +1,7 @@
 package aig
 
 import (
+	"context"
 	"math/rand"
 
 	"seqver/internal/sat"
@@ -53,6 +54,15 @@ func Fraig(a *AIG, opt FraigOptions) *AIG {
 
 // FraigEx is Fraig returning reduction statistics alongside the AIG.
 func FraigEx(a *AIG, opt FraigOptions) (*AIG, *FraigStats) {
+	return FraigExCtx(nil, a, opt)
+}
+
+// FraigExCtx is FraigEx under cooperative cancellation: once ctx is
+// canceled (or past its deadline) the sweep stops attempting SAT merge
+// proofs and degrades to a plain structural copy, so it always returns a
+// function-identical AIG promptly — possibly less reduced than an
+// unbudgeted run would produce, but never wrong. A nil ctx never fires.
+func FraigExCtx(ctx context.Context, a *AIG, opt FraigOptions) (*AIG, *FraigStats) {
 	opt.defaults()
 	rng := rand.New(rand.NewSource(opt.Seed + 1))
 	k := opt.SimWords
@@ -85,13 +95,27 @@ func FraigEx(a *AIG, opt FraigOptions) (*AIG, *FraigStats) {
 
 	solver := sat.New(0)
 	cnf := &CNFMap{VarOf: make(map[uint32]int)}
+	// expired flips once the context fires; from then on no further merge
+	// proofs are attempted and the loop below is a pure structural copy.
+	expired := false
+	ctxTick := 0
+	pollCtx := func() bool {
+		if expired || ctx == nil {
+			return expired
+		}
+		if ctxTick++; ctxTick >= 512 {
+			ctxTick = 0
+			expired = ctx.Err() != nil
+		}
+		return expired
+	}
 	prove := func(x, y Lit) bool {
 		stats.ProveCalls++
 		lx := out.Encode(solver, cnf, x)
 		ly := out.Encode(solver, cnf, y)
 		solver.MaxConflicts = opt.MaxConflicts
-		ok := solver.Solve(lx, ly.Not()) == sat.Unsat &&
-			solver.Solve(lx.Not(), ly) == sat.Unsat
+		ok := solver.SolveCtx(ctx, lx, ly.Not()) == sat.Unsat &&
+			solver.SolveCtx(ctx, lx.Not(), ly) == sat.Unsat
 		if !ok {
 			stats.ProveFailed++
 		}
@@ -145,7 +169,7 @@ func FraigEx(a *AIG, opt FraigOptions) (*AIG, *FraigStats) {
 			key := classKey(nd)
 			merged := false
 			for ci, cand := range classes[key] {
-				if ci >= opt.MaxClassSize {
+				if ci >= opt.MaxClassSize || pollCtx() {
 					break
 				}
 				if sameSig(sig, me, cand, k) && prove(me, cand) {

@@ -8,9 +8,30 @@
 // The then-edge of every stored node is regular (non-complemented), which
 // makes the representation canonical: two functions are equal iff their
 // Refs are equal.
+//
+// # Contract and budget semantics
+//
+// BDD sizes are input-dependent and can blow up exponentially (the
+// paper's Section 2 baseline exists to demonstrate exactly that), so
+// every Manager carries two recoverable brakes:
+//
+//   - MaxNodes bounds the node store. Exceeding it raises ErrNodeLimit
+//     as a panic, converted to an ordinary error by CatchLimit — the
+//     manager is not corrupted, only the interrupted computation is
+//     abandoned.
+//   - SetContext arms cooperative cancellation: node construction polls
+//     the context every few thousand fresh nodes and raises ErrCanceled
+//     the same way. This is what lets the CEC portfolio race a BDD
+//     build against a SAT proof and stop the loser mid-computation.
+//
+// Both brakes degrade a computation to "no answer" without ever
+// producing a wrong Ref: any Ref returned before the brake fired is
+// still canonical and valid. A Manager is not safe for concurrent use;
+// the portfolio gives each race arm its own instance.
 package bdd
 
 import (
+	"context"
 	"fmt"
 	"math"
 )
@@ -51,9 +72,18 @@ const (
 
 // ErrNodeLimit is the panic value raised when the manager exceeds its
 // configured node budget. Callers that want graceful degradation (e.g.
-// the symbolic reachability baseline demonstrating blowup) recover it via
-// CatchLimit.
+// the symbolic reachability baseline demonstrating blowup, or the CEC
+// portfolio's BDD arm) recover it via CatchLimit.
 var ErrNodeLimit = fmt.Errorf("bdd: node limit exceeded")
+
+// ErrCanceled is the panic value raised when a manager's context (see
+// SetContext) is canceled mid-computation. Recover it via CatchLimit.
+var ErrCanceled = fmt.Errorf("bdd: canceled")
+
+// ctxPollInterval is the number of fresh nodes between context polls;
+// node construction dominates any blowing-up computation, so this bounds
+// cancellation latency without measurable overhead.
+const ctxPollInterval = 2048
 
 // Manager owns the node store, unique table, and operation caches.
 type Manager struct {
@@ -68,7 +98,17 @@ type Manager struct {
 	// MaxNodes, when > 0, bounds the node store; exceeding it panics
 	// with ErrNodeLimit.
 	MaxNodes int
+
+	ctx     context.Context // armed by SetContext; nil means no polling
+	ctxTick int
 }
+
+// SetContext arms cooperative cancellation: while ctx is live, node
+// construction periodically polls it and panics with ErrCanceled once it
+// is canceled or past its deadline (recover via CatchLimit). Passing nil
+// disarms polling. The manager itself stays valid after a cancellation —
+// only the interrupted computation is lost.
+func (m *Manager) SetContext(ctx context.Context) { m.ctx = ctx }
 
 // New creates a manager with the given number of variables. More can be
 // added later with AddVar.
@@ -130,6 +170,12 @@ func (m *Manager) mk(level int32, lo, hi Ref) Ref {
 	}
 	if m.MaxNodes > 0 && len(m.level) >= m.MaxNodes {
 		panic(ErrNodeLimit)
+	}
+	if m.ctxTick++; m.ctx != nil && m.ctxTick >= ctxPollInterval {
+		m.ctxTick = 0
+		if m.ctx.Err() != nil {
+			panic(ErrCanceled)
+		}
 	}
 	idx := uint32(len(m.level))
 	m.level = append(m.level, level)
@@ -514,12 +560,13 @@ func (m *Manager) ClearCache() {
 	m.cache = make(map[opKey]Ref)
 }
 
-// CatchLimit runs fn, converting an ErrNodeLimit panic into a returned
-// error so callers can degrade gracefully when a computation blows up.
+// CatchLimit runs fn, converting an ErrNodeLimit or ErrCanceled panic
+// into a returned error so callers can degrade gracefully when a
+// computation blows up or its budget expires.
 func CatchLimit(fn func()) (err error) {
 	defer func() {
 		if r := recover(); r != nil {
-			if e, ok := r.(error); ok && e == ErrNodeLimit {
+			if e, ok := r.(error); ok && (e == ErrNodeLimit || e == ErrCanceled) {
 				err = e
 				return
 			}

@@ -1,0 +1,70 @@
+package bdd
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// interleavedCover builds OR of x_i AND x_{i+n} over i < n with the
+// worst variable order for this function: its BDD has ~2^n nodes, which
+// drives enough fresh mk calls to hit the context poll interval.
+func interleavedCover(m *Manager, n int) Ref {
+	f := False
+	for i := 0; i < n; i++ {
+		f = m.Or(f, m.And(m.Var(i), m.Var(i+n)))
+	}
+	return f
+}
+
+// TestSetContextCanceled pins the cooperative brake: building a
+// blowing-up BDD under a canceled context panics internally with
+// ErrCanceled and CatchLimit converts that into an error return.
+func TestSetContextCanceled(t *testing.T) {
+	m := New(32)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	m.SetContext(ctx)
+	err := CatchLimit(func() {
+		interleavedCover(m, 16)
+	})
+	if err != ErrCanceled {
+		t.Fatalf("CatchLimit under canceled context = %v, want ErrCanceled", err)
+	}
+	// Clearing the context re-enables the manager for the same build.
+	m.SetContext(nil)
+	if err := CatchLimit(func() { interleavedCover(m, 16) }); err != nil {
+		t.Fatalf("rebuild after clearing context: %v", err)
+	}
+}
+
+// TestSetContextDeadline pins prompt expiry mid-build.
+func TestSetContextDeadline(t *testing.T) {
+	m := New(44)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	m.SetContext(ctx)
+	start := time.Now()
+	err := CatchLimit(func() {
+		interleavedCover(m, 22)
+	})
+	if elapsed := time.Since(start); err == nil && elapsed > 500*time.Millisecond {
+		t.Fatalf("build finished despite 1ms deadline after %v", elapsed)
+	} else if err != nil && err != ErrCanceled {
+		t.Fatalf("CatchLimit = %v, want ErrCanceled or fast completion", err)
+	}
+}
+
+// TestNodeLimitStillCaught pins that the pre-existing MaxNodes brake and
+// the new context brake coexist: with no context set, only ErrNodeLimit
+// can fire.
+func TestNodeLimitStillCaught(t *testing.T) {
+	m := New(32)
+	m.MaxNodes = 100
+	err := CatchLimit(func() {
+		interleavedCover(m, 16)
+	})
+	if err != ErrNodeLimit {
+		t.Fatalf("CatchLimit = %v, want ErrNodeLimit", err)
+	}
+}

@@ -9,10 +9,26 @@
 // free), random simulation filters inequivalences and groups candidate
 // internal equivalences, SAT-sweeping (fraig) merges internal points to
 // keep miters shallow, and a CDCL SAT solver discharges each output
-// miter. An optional pure-BDD engine is provided for the ablation bench.
+// miter. A pure-BDD engine is provided for the ablation bench, and the
+// "portfolio" engine races SAT against BDD per miter in the
+// Kuehlmann-Krohm hybrid style.
+//
+// # Budget semantics
+//
+// Every entry point has a context-aware variant (CheckCtx), and
+// Options.Budget adds a wall-clock bound divided adaptively across the
+// remaining output miters. Resource exhaustion — deadline, context
+// cancellation, SAT conflict budget, BDD node limit, or even a panic in
+// one miter's proof — degrades that miter to undecided instead of
+// hanging or crashing the batch; the overall verdict is then the
+// structured Undecided with Result.UndecidedOutputs naming what was not
+// resolved. Verdicts are budget-dependent but never wrong: a larger
+// budget can turn Undecided into Equivalent/Inequivalent, no budget can
+// flip a decided answer.
 package cec
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"time"
@@ -47,13 +63,22 @@ func (v Verdict) String() string {
 // Options tunes the engines.
 type Options struct {
 	// Engine selects the decision procedure: "hybrid" (default:
-	// simulation + fraig + SAT), "sat" (no fraig sweeping), or "bdd".
+	// simulation + fraig + SAT), "sat" (no fraig sweeping), "bdd", or
+	// "portfolio" (simulation + fraig, then SAT raced against BDD per
+	// miter — the first definitive answer wins and cancels the loser).
 	Engine string
 	// MaxConflicts bounds each SAT proof (0: generous default).
 	MaxConflicts int64
 	// BDDLimit bounds the BDD engine's node count (0: default 2M).
 	BDDLimit int
 	Seed     int64
+	// Budget, when positive, bounds the whole Check call by wall clock.
+	// The remaining budget is divided adaptively across the remaining
+	// output miters (each undecided output gets remaining/pending), and
+	// an exhausted budget yields the structured Undecided verdict with
+	// Result.UndecidedOutputs — never a hang or an error. Verdicts are
+	// budget-dependent but never wrong.
+	Budget time.Duration
 	// Workers sets the engine parallelism: output miters are proved
 	// concurrently (one SAT solver and CNF map per worker over the
 	// shared read-only AIG), the fraig signature pass is sharded, and
@@ -74,16 +99,28 @@ type Result struct {
 	Verdict        Verdict
 	FailingOutput  string          // set when Inequivalent
 	Counterexample map[string]bool // input name -> value, when Inequivalent
-	Outputs        int             // outputs compared
-	SATCalls       int
-	Elapsed        time.Duration
-	Stats          *Stats // per-stage engine accounting, always populated
+	// UndecidedOutputs lists, on an Undecided verdict, the output names
+	// whose miters were not resolved (budget/conflict-limit exhausted,
+	// context canceled, or proof panicked), sorted.
+	UndecidedOutputs []string
+	Outputs          int // outputs compared
+	SATCalls         int
+	Elapsed          time.Duration
+	Stats            *Stats // per-stage engine accounting, always populated
 }
 
 // Check decides name-aligned combinational equivalence of c1 and c2.
 // The circuits must be latch-free and have identical output name sets;
 // input sets may differ (a circuit ignores inputs outside its support).
 func Check(c1, c2 *netlist.Circuit, opt Options) (*Result, error) {
+	return CheckCtx(context.Background(), c1, c2, opt)
+}
+
+// CheckCtx is Check under cooperative cancellation: cancellation or
+// deadline expiry degrades unresolved miters to undecided (see
+// Result.UndecidedOutputs) rather than returning an error. Options.Budget
+// composes with the context — whichever deadline is tighter wins.
+func CheckCtx(ctx context.Context, c1, c2 *netlist.Circuit, opt Options) (*Result, error) {
 	start := time.Now()
 	if len(c1.Latches) > 0 || len(c2.Latches) > 0 {
 		return nil, fmt.Errorf("cec: circuits must be combinational (unroll first)")
@@ -107,14 +144,20 @@ func Check(c1, c2 *netlist.Circuit, opt Options) (*Result, error) {
 		res.Elapsed = time.Since(start)
 		res.Stats.ElapsedNS = res.Elapsed.Nanoseconds()
 	}()
+	if opt.Budget > 0 {
+		res.Stats.BudgetNS = opt.Budget.Nanoseconds()
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithDeadline(ctx, start.Add(opt.Budget))
+		defer cancel()
+	}
 
+	names := c1.OutputNames()
+	sort.Strings(names)
 	switch engine {
-	case "hybrid", "sat":
-		names := c1.OutputNames()
-		sort.Strings(names)
-		return checkSAT(a, piNames, pos1, pos2, names, opt, res, engine != "sat")
+	case "hybrid", "sat", "portfolio":
+		return checkSAT(ctx, a, piNames, pos1, pos2, names, opt, res, engine)
 	case "bdd":
-		return checkBDD(a, piNames, pos1, pos2, opt, res)
+		return checkBDD(ctx, a, piNames, pos1, pos2, names, opt, res)
 	default:
 		return nil, fmt.Errorf("cec: unknown engine %q", opt.Engine)
 	}
@@ -245,14 +288,15 @@ func gateToAIG(a *aig.AIG, n *netlist.Node, in []aig.Lit) aig.Lit {
 	panic("cec: unknown op " + n.Op.String())
 }
 
-func checkBDD(a *aig.AIG, piNames []string, pos1, pos2 []aig.Lit,
-	opt Options, res *Result) (*Result, error) {
+func checkBDD(ctx context.Context, a *aig.AIG, piNames []string, pos1, pos2 []aig.Lit,
+	names []string, opt Options, res *Result) (*Result, error) {
 	limit := opt.BDDLimit
 	if limit == 0 {
 		limit = 2_000_000
 	}
 	m := bdd.New(len(piNames))
 	m.MaxNodes = limit
+	m.SetContext(ctx)
 	funcs := make([]bdd.Ref, a.NumNodes())
 	funcs[0] = bdd.False
 	for i := 0; i < a.NumPIs(); i++ {
@@ -272,13 +316,17 @@ func checkBDD(a *aig.AIG, piNames []string, pos1, pos2 []aig.Lit,
 		}
 	})
 	if err != nil {
+		// Node limit or cancellation: the monolithic build decides
+		// nothing, so every output is unresolved.
 		res.Verdict = Undecided
+		res.UndecidedOutputs = append([]string(nil), names...)
 		return res, nil
 	}
 	for i := range pos1 {
 		b1, b2 := edge(pos1[i]), edge(pos2[i])
 		if b1 != b2 {
 			res.Verdict = Inequivalent
+			res.FailingOutput = names[i]
 			// Extract a counterexample from the difference function.
 			diffSat := m.AnySat(m.Xor(b1, b2))
 			res.Counterexample = cexAssign(piNames, func(j int) bool { return diffSat[j] })

@@ -1,9 +1,13 @@
 package cec
 
 import (
+	"context"
+	"fmt"
 	"math/bits"
 	"math/rand"
 	"runtime"
+	"runtime/debug"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -11,6 +15,11 @@ import (
 	"seqver/internal/aig"
 	"seqver/internal/sat"
 )
+
+// testMiterHook, when non-nil, runs at the start of every miter proof
+// with the output's name. It exists only for tests (panic injection into
+// the worker pool); production code never sets it.
+var testMiterHook func(output string)
 
 // Stage-1 defaults: rounds x wordsPerRound x 64 random patterns.
 const (
@@ -40,16 +49,17 @@ func (o Options) simShape() (rounds, wordsPerRound int) {
 	return rounds, wordsPerRound
 }
 
-// checkSAT is the hybrid/sat engine: random simulation, optional fraig
-// sweeping, then one SAT miter per output proved by a worker pool.
-func checkSAT(a *aig.AIG, piNames []string, pos1, pos2 []aig.Lit,
-	names []string, opt Options, res *Result, useFraig bool) (*Result, error) {
+// checkSAT is the hybrid/sat/portfolio pipeline: random simulation,
+// optional fraig sweeping, then one miter per output discharged by a
+// worker pool (SAT alone, or the SAT-vs-BDD portfolio race).
+func checkSAT(ctx context.Context, a *aig.AIG, piNames []string, pos1, pos2 []aig.Lit,
+	names []string, opt Options, res *Result, engine string) (*Result, error) {
 	workers := opt.workerCount()
 	st := res.Stats
 	st.Workers = workers
 
 	// Stage 1: random simulation looks for cheap counterexamples.
-	if hit := simStage(a, pos1, pos2, opt, st); hit != nil {
+	if hit := simStage(ctx, a, pos1, pos2, opt, st); hit != nil {
 		res.Verdict = Inequivalent
 		res.FailingOutput = names[hit.out]
 		res.Counterexample = cexAssign(piNames, func(i int) bool {
@@ -60,9 +70,11 @@ func checkSAT(a *aig.AIG, piNames []string, pos1, pos2 []aig.Lit,
 
 	// Stage 2: SAT-sweeping merges internal equivalences so that the
 	// output miters collapse structurally where the circuits are similar.
-	if useFraig {
+	// Under a deadline the sweep degrades to a structural copy, keeping
+	// stage 3 the only consumer of whatever budget remains.
+	if engine != "sat" {
 		st.FraigNodesBefore = a.NumAnds()
-		af, fst := aig.FraigEx(a, aig.FraigOptions{
+		af, fst := aig.FraigExCtx(ctx, a, aig.FraigOptions{
 			Seed: opt.Seed, MaxConflicts: 1000, Workers: workers,
 		})
 		st.FraigNodesAfter = fst.NodesAfter
@@ -76,13 +88,27 @@ func checkSAT(a *aig.AIG, piNames []string, pos1, pos2 []aig.Lit,
 		}
 	}
 
-	// Stage 3: one SAT miter per output, proved concurrently.
+	// Stage 3: one miter per output, proved concurrently.
 	maxConf := opt.MaxConflicts
 	if maxConf == 0 {
 		maxConf = 200000
 	}
-	proveMiters(a, piNames, names, pos1, pos2, maxConf, workers, res, st)
+	env := &proveEnv{
+		a: a, piNames: piNames, names: names, pos1: pos1, pos2: pos2,
+		maxConf:   maxConf,
+		bddLimit:  opt.bddLimit(),
+		portfolio: engine == "portfolio",
+		deadline:  newBudgeter(ctx, len(pos1)),
+	}
+	proveMiters(ctx, env, workers, res, st)
 	return res, nil
+}
+
+func (o Options) bddLimit() int {
+	if o.BDDLimit > 0 {
+		return o.BDDLimit
+	}
+	return 2_000_000
 }
 
 // simHit locates the first differing pattern found by stage 1:
@@ -110,8 +136,9 @@ func (h *simHit) less(o *simHit) bool {
 // simStage runs the stage-1 random simulation rounds as parallel
 // batches (each round simulates wordsPerRound*64 patterns in one k-word
 // sweep) and returns the first difference in deterministic order, or
-// nil if no round distinguishes the circuits.
-func simStage(a *aig.AIG, pos1, pos2 []aig.Lit, opt Options, st *Stats) *simHit {
+// nil if no round distinguishes the circuits. Simulation is only a
+// filter, so an expiring context simply skips the remaining rounds.
+func simStage(ctx context.Context, a *aig.AIG, pos1, pos2 []aig.Lit, opt Options, st *Stats) *simHit {
 	rounds, wpr := opt.simShape()
 	st.SimRounds, st.SimWordsPerRound = rounds, wpr
 	st.SimPatterns = int64(rounds) * int64(wpr) * 64
@@ -133,7 +160,7 @@ func simStage(a *aig.AIG, pos1, pos2 []aig.Lit, opt Options, st *Stats) *simHit 
 			defer wg.Done()
 			for {
 				r := int(atomic.AddInt32(&next, 1))
-				if r >= rounds {
+				if r >= rounds || ctx.Err() != nil {
 					return
 				}
 				// Seed per round, not per worker: the simulated
@@ -188,24 +215,49 @@ type miterWin struct {
 	cex map[string]bool
 }
 
+// proveEnv bundles the immutable inputs of the miter-proving stage.
+type proveEnv struct {
+	a              *aig.AIG
+	piNames, names []string
+	pos1, pos2     []aig.Lit
+	maxConf        int64
+	bddLimit       int
+	portfolio      bool
+	deadline       *budgeter // nil when neither Budget nor a ctx deadline is set
+}
+
+// workerState is what each pool worker owns privately: a warm SAT
+// solver and its CNF map over the shared read-only AIG.
+type workerState struct {
+	solver *sat.Solver
+	cnf    *aig.CNFMap
+}
+
 // proveMiters discharges one miter per output on a pool of workers.
 // Each worker owns a SAT solver and CNF map over the shared read-only
 // AIG; the first counterexample wins and cancels the remaining work via
-// an atomic stop flag. Per-output and per-worker accounting lands in st.
-func proveMiters(a *aig.AIG, piNames, names []string, pos1, pos2 []aig.Lit,
-	maxConf int64, workers int, res *Result, st *Stats) {
-	n := len(pos1)
+// an atomic stop flag, and an expired deadline drains the remaining
+// queue as timeouts. Per-output and per-worker accounting lands in st.
+func proveMiters(ctx context.Context, e *proveEnv, workers int, res *Result, st *Stats) {
+	n := len(e.pos1)
 	perOut := make([]OutputStats, n)
 	var pending []int
 	for i := range perOut {
-		perOut[i] = OutputStats{Name: names[i], Worker: -1}
-		if pos1[i] == pos2[i] {
+		perOut[i] = OutputStats{Name: e.names[i], Worker: -1}
+		if e.pos1[i] == e.pos2[i] {
 			perOut[i].Status = "structural"
 			st.StructuralEqual++
 		} else {
 			perOut[i].Status = "skipped"
 			pending = append(pending, i)
 		}
+	}
+	if e.deadline != nil {
+		// Structural matches consume no budget; divide over real work.
+		e.deadline.setPending(len(pending))
+	}
+	if e.portfolio {
+		st.Portfolio = &PortfolioStats{}
 	}
 	if workers > len(pending) {
 		workers = len(pending)
@@ -227,43 +279,28 @@ func proveMiters(a *aig.AIG, piNames, names []string, pos1, pos2 []aig.Lit,
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			solver := sat.New(0)
-			cnf := &aig.CNFMap{VarOf: map[uint32]int{}}
+			ws := &workerState{solver: sat.New(0), cnf: &aig.CNFMap{VarOf: map[uint32]int{}}}
 			for i := range jobs {
 				if stop.Load() {
 					continue // drain: leave the miter marked skipped
 				}
-				t0 := time.Now()
 				o := &perOut[i]
-				o.Worker = w
-				l1 := a.Encode(solver, cnf, pos1[i])
-				l2 := a.Encode(solver, cnf, pos2[i])
-				solver.MaxConflicts = maxConf
-
-				status := "equal"
-				var cex map[string]bool
-				for pass := 0; pass < 2; pass++ {
-					a1, a2 := l1, l2.Not()
-					if pass == 1 {
-						a1, a2 = l1.Not(), l2
-					}
-					verdict, model := solver.SolveModel(a1, a2)
-					o.SATCalls++
-					o.Conflicts += solver.LastConflicts()
-					o.Decisions += solver.LastDecisions()
-					if verdict == sat.Sat {
-						status = "cex"
-						cex = cexFromModel(a, piNames, cnf, model)
-						break
-					}
-					if verdict == sat.Unknown {
-						status = "undecided"
-						break
-					}
+				if ctx.Err() != nil {
+					// Budget exhausted: everything still queued is
+					// structurally unresolved, never silently dropped.
+					o.Status = "timeout"
+					undecided.Store(true)
+					e.deadline.finish()
+					continue
 				}
+				t0 := time.Now()
+				o.Worker = w
+				status, engine, cex := e.proveOne(ctx, ws, i, o, st, &mu)
 				o.Status = status
+				o.Engine = engine
 				o.TimeNS = time.Since(t0).Nanoseconds()
 				busy[w] += o.TimeNS
+				e.deadline.finish()
 				switch status {
 				case "cex":
 					mu.Lock()
@@ -272,7 +309,8 @@ func proveMiters(a *aig.AIG, piNames, names []string, pos1, pos2 []aig.Lit,
 					}
 					mu.Unlock()
 					stop.Store(true)
-				case "undecided":
+				case "equal":
+				default: // undecided | timeout | panic
 					undecided.Store(true)
 				}
 			}
@@ -304,13 +342,86 @@ func proveMiters(a *aig.AIG, piNames, names []string, pos1, pos2 []aig.Lit,
 	switch {
 	case win != nil:
 		res.Verdict = Inequivalent
-		res.FailingOutput = names[win.out]
+		res.FailingOutput = e.names[win.out]
 		res.Counterexample = win.cex
 	case undecided.Load():
 		res.Verdict = Undecided
+		for i := range perOut {
+			switch perOut[i].Status {
+			case "undecided", "timeout", "panic":
+				res.UndecidedOutputs = append(res.UndecidedOutputs, perOut[i].Name)
+			}
+		}
+		sort.Strings(res.UndecidedOutputs)
 	default:
 		res.Verdict = Equivalent
 	}
+}
+
+// proveOne discharges miter i under its budget slice, converting a
+// panicking proof into an undecided "panic" status (stack captured in
+// st.Panics) so one bad cone can never take down a batch run.
+func (e *proveEnv) proveOne(ctx context.Context, ws *workerState, i int,
+	o *OutputStats, st *Stats, mu *sync.Mutex) (status, engine string, cex map[string]bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			status, engine, cex = "panic", "", nil
+			recordPanic(st, mu, e.names[i], r)
+		}
+	}()
+	if testMiterHook != nil {
+		testMiterHook(e.names[i])
+	}
+	mctx := ctx
+	if e.deadline != nil {
+		var cancel context.CancelFunc
+		mctx, cancel = context.WithDeadline(ctx, e.deadline.sliceDeadline())
+		defer cancel()
+	}
+	if e.portfolio {
+		return e.racePortfolio(mctx, i, ws, o, st, mu)
+	}
+	status, cex = e.proveSAT(mctx, ws, i, o)
+	return status, "sat", cex
+}
+
+// proveSAT runs the two one-sided miter checks on the worker's warm
+// solver. Statuses: equal | cex | undecided (conflict budget) | timeout
+// (context fired).
+func (e *proveEnv) proveSAT(ctx context.Context, ws *workerState, i int,
+	o *OutputStats) (string, map[string]bool) {
+	l1 := e.a.Encode(ws.solver, ws.cnf, e.pos1[i])
+	l2 := e.a.Encode(ws.solver, ws.cnf, e.pos2[i])
+	ws.solver.MaxConflicts = e.maxConf
+	for pass := 0; pass < 2; pass++ {
+		a1, a2 := l1, l2.Not()
+		if pass == 1 {
+			a1, a2 = l1.Not(), l2
+		}
+		verdict, model := ws.solver.SolveModelCtx(ctx, a1, a2)
+		o.SATCalls++
+		o.Conflicts += ws.solver.LastConflicts()
+		o.Decisions += ws.solver.LastDecisions()
+		switch verdict {
+		case sat.Sat:
+			return "cex", cexFromModel(e.a, e.piNames, ws.cnf, model)
+		case sat.Unknown:
+			return "undecided", nil
+		case sat.Canceled:
+			return "timeout", nil
+		}
+	}
+	return "equal", nil
+}
+
+func recordPanic(st *Stats, mu *sync.Mutex, output string, r any) {
+	mu.Lock()
+	st.Panics = append(st.Panics, PanicRecord{
+		Output: output,
+		Value:  fmt.Sprint(r),
+		Stack:  string(debug.Stack()),
+	})
+	mu.Unlock()
 }
 
 // cexAssign builds a named counterexample from any per-PI value source —

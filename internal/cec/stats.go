@@ -31,16 +31,49 @@ type Stats struct {
 	Conflicts       int64 `json:"conflicts"`
 	Decisions       int64 `json:"decisions"`
 
+	// BudgetNS is the configured wall-clock budget (0: unbudgeted).
+	BudgetNS int64 `json:"budget_ns,omitempty"`
+	// Portfolio is the per-engine race accounting; set only by the
+	// "portfolio" engine.
+	Portfolio *PortfolioStats `json:"portfolio,omitempty"`
+	// Panics records proofs that crashed and were degraded to an
+	// undecided output instead of taking down the batch.
+	Panics []PanicRecord `json:"panics,omitempty"`
+
 	PerOutput    []OutputStats `json:"per_output,omitempty"`
 	WorkerBusyNS []int64       `json:"worker_busy_ns,omitempty"`
 	Utilization  float64       `json:"utilization"` // mean busy fraction of the miter-stage wall time
 	ElapsedNS    int64         `json:"elapsed_ns"`
 }
 
+// PortfolioStats counts, per engine, how many miters it won (first
+// definitive answer in the race) and how many it failed to decide on
+// miters that ended unresolved. A loser canceled by a winner is counted
+// in neither column.
+type PortfolioStats struct {
+	SATWins     int `json:"sat_wins"`
+	BDDWins     int `json:"bdd_wins"`
+	SATTimeouts int `json:"sat_timeouts"`
+	BDDTimeouts int `json:"bdd_timeouts"`
+	Unresolved  int `json:"unresolved"` // miters no engine decided
+}
+
+// PanicRecord is one crashed miter proof: the worker recovered it, the
+// output degraded to undecided, and the stack is preserved here.
+type PanicRecord struct {
+	Output string `json:"output"`
+	Value  string `json:"value"` // the recovered panic value
+	Stack  string `json:"stack"`
+}
+
 // OutputStats is the per-output miter accounting.
 type OutputStats struct {
-	Name      string `json:"name"`
-	Status    string `json:"status"` // structural | equal | cex | undecided | skipped
+	Name string `json:"name"`
+	// Status: structural | equal | cex | undecided (conflict budget) |
+	// timeout (wall-clock budget / cancellation) | panic (proof crashed,
+	// recovered) | skipped (another output's cex ended the run first).
+	Status    string `json:"status"`
+	Engine    string `json:"engine,omitempty"` // engine that decided it ("sat" | "bdd")
 	SATCalls  int    `json:"sat_calls"`
 	Conflicts int64  `json:"conflicts"`
 	Decisions int64  `json:"decisions"`
@@ -61,6 +94,16 @@ func (s *Stats) String() string {
 	}
 	fmt.Fprintf(&b, "sat:         %d calls, %d conflicts, %d decisions\n",
 		s.SATCalls, s.Conflicts, s.Decisions)
+	if s.BudgetNS > 0 {
+		fmt.Fprintf(&b, "budget:      %v wall clock\n", time.Duration(s.BudgetNS))
+	}
+	if p := s.Portfolio; p != nil {
+		fmt.Fprintf(&b, "portfolio:   sat %d wins / %d timeouts, bdd %d wins / %d timeouts, %d unresolved\n",
+			p.SATWins, p.SATTimeouts, p.BDDWins, p.BDDTimeouts, p.Unresolved)
+	}
+	if len(s.Panics) > 0 {
+		fmt.Fprintf(&b, "panics:      %d recovered proofs (degraded to undecided)\n", len(s.Panics))
+	}
 	fmt.Fprintf(&b, "utilization: %.0f%% over %v\n",
 		s.Utilization*100, time.Duration(s.ElapsedNS).Round(time.Microsecond))
 	if len(s.PerOutput) > 0 {

@@ -8,6 +8,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -130,6 +131,14 @@ type Report struct {
 // EDBF path (sound for retiming+synthesis pairs, else conservative,
 // Theorem 5.2).
 func VerifyAcyclic(c1, c2 *netlist.Circuit, opt Options) (*Report, error) {
+	return VerifyAcyclicCtx(context.Background(), c1, c2, opt)
+}
+
+// VerifyAcyclicCtx is VerifyAcyclic under cooperative cancellation: the
+// context (and opt.CEC.Budget) bound the equivalence check's wall
+// clock, and exhaustion degrades to an Undecided verdict naming the
+// unresolved outputs rather than an error (see cec.CheckCtx).
+func VerifyAcyclicCtx(ctx context.Context, c1, c2 *netlist.Circuit, opt Options) (*Report, error) {
 	start := time.Now()
 	rep := &Report{}
 	var u1, u2 *netlist.Circuit
@@ -158,7 +167,7 @@ func VerifyAcyclic(c1, c2 *netlist.Circuit, opt Options) (*Report, error) {
 		}
 	}
 	rep.UnrolledGates = [2]int{u1.NumGates(), u2.NumGates()}
-	res, err := cec.Check(u1, u2, opt.CEC)
+	res, err := cec.CheckCtx(ctx, u1, u2, opt.CEC)
 	if err != nil {
 		return nil, err
 	}
@@ -175,6 +184,12 @@ func VerifyAcyclic(c1, c2 *netlist.Circuit, opt Options) (*Report, error) {
 // retime-and-resynthesize flow should instead be handled by preparing
 // once and optimizing the prepared circuit.
 func Verify(c1, c2 *netlist.Circuit, prep PrepareOptions, opt Options) (*Report, error) {
+	return VerifyCtx(context.Background(), c1, c2, prep, opt)
+}
+
+// VerifyCtx is Verify under cooperative cancellation (see
+// VerifyAcyclicCtx for the budget semantics).
+func VerifyCtx(ctx context.Context, c1, c2 *netlist.Circuit, prep PrepareOptions, opt Options) (*Report, error) {
 	p1, err := Prepare(c1, prep)
 	if err != nil {
 		return nil, err
@@ -196,5 +211,5 @@ func Verify(c1, c2 *netlist.Circuit, prep PrepareOptions, opt Options) (*Report,
 	if err := cbf.CheckAcyclic(b2); err != nil {
 		return nil, fmt.Errorf("core: second circuit still cyclic after matching exposure: %w", err)
 	}
-	return VerifyAcyclic(p1.Circuit, b2, opt)
+	return VerifyAcyclicCtx(ctx, p1.Circuit, b2, opt)
 }

@@ -7,9 +7,34 @@
 // checker (Section 7.4 of the paper reduces CBF/EDBF equivalence to
 // combinational equivalence; tools of the Matsunaga / Kuehlmann-Krohm
 // family pair structural filtering with exactly this kind of engine).
+//
+// # Contract and budget semantics
+//
+// A Solver is incremental: clauses persist across Solve calls, and each
+// call decides satisfiability under its assumption literals. Two budgets
+// bound a call, and both degrade to a definite "gave up" status rather
+// than an error or a hang:
+//
+//   - MaxConflicts (a per-call conflict count; 0 or negative means
+//     unlimited) returns Unknown when exhausted. The formula's status is
+//     simply undetermined; the solver stays usable.
+//   - A context passed to SolveCtx/SolveModelCtx is polled at conflict
+//     and decision boundaries (every few hundred steps, so cancellation
+//     latency is microseconds-to-milliseconds, never a whole proof).
+//     Cancellation or deadline expiry returns Canceled.
+//
+// Unknown and Canceled are both sound "no answer" verdicts: callers such
+// as internal/cec map them to an undecided miter, never to a wrong
+// equal/inequal answer. Learned clauses survive an interrupted call, so
+// re-running with a larger budget resumes from accumulated knowledge.
+// A Solver is not safe for concurrent use; the CEC worker pool gives
+// each worker its own instance.
 package sat
 
-import "sort"
+import (
+	"context"
+	"sort"
+)
 
 // Lit is a literal: variable index shifted left once, LSB = negation.
 // Variables are 0-based.
@@ -37,12 +62,16 @@ func (l Lit) Not() Lit { return l ^ 1 }
 type Status int
 
 const (
-	// Unknown means the solver gave up (budget exhausted).
+	// Unknown means the solver gave up (conflict budget exhausted).
 	Unknown Status = iota
 	// Sat means a model was found.
 	Sat
 	// Unsat means the instance is unsatisfiable.
 	Unsat
+	// Canceled means the Solve call's context was canceled or its
+	// deadline expired before a verdict. Like Unknown it is a sound
+	// "no answer": the formula's status is simply undetermined.
+	Canceled
 )
 
 func (s Status) String() string {
@@ -51,6 +80,8 @@ func (s Status) String() string {
 		return "SAT"
 	case Unsat:
 		return "UNSAT"
+	case Canceled:
+		return "CANCELED"
 	}
 	return "UNKNOWN"
 }
@@ -459,17 +490,27 @@ func luby(i int64) int64 {
 	}
 }
 
-// Solve decides satisfiability under the given assumption literals.
+// ctxPollInterval is the number of search steps (conflicts plus
+// decisions) between context polls: frequent enough that cancellation
+// latency stays far below any realistic miter budget, rare enough that
+// the ctx.Err mutex never shows up in profiles.
+const ctxPollInterval = 128
+
+// solve decides satisfiability under the given assumption literals.
 // On Sat, Model reports variable values. On Unknown the conflict budget
-// was exhausted.
-func (s *Solver) solve(assumptions ...Lit) Status {
+// was exhausted; on Canceled the context fired first.
+func (s *Solver) solve(ctx context.Context, assumptions ...Lit) Status {
 	if s.unsatisf {
 		return Unsat
+	}
+	if ctx != nil && ctx.Err() != nil {
+		return Canceled
 	}
 	s.conflicts = 0
 	s.decisions = 0
 	restartNum := int64(1)
 	restartLimit := luby(restartNum) * 64
+	tick := 0
 
 	defer s.cancelUntil(0)
 	for {
@@ -477,6 +518,12 @@ func (s *Solver) solve(assumptions ...Lit) Status {
 		if confl >= 0 {
 			s.Stats.Conflicts++
 			s.conflicts++
+			if tick++; ctx != nil && tick >= ctxPollInterval {
+				tick = 0
+				if ctx.Err() != nil {
+					return Canceled
+				}
+			}
 			if s.decisionLevel() == 0 {
 				// A conflict with no decisions means the clause set
 				// itself is contradictory; latch it so later Solve
@@ -523,6 +570,12 @@ func (s *Solver) solve(assumptions ...Lit) Status {
 			}
 			continue
 		}
+		if tick++; ctx != nil && tick >= ctxPollInterval {
+			tick = 0
+			if ctx.Err() != nil {
+				return Canceled
+			}
+		}
 		l := s.pickBranch()
 		if l == -1 {
 			// Capture the model before the deferred backtrack erases it.
@@ -541,13 +594,27 @@ func (s *Solver) solve(assumptions ...Lit) Status {
 
 // Solve decides satisfiability under the given assumptions.
 func (s *Solver) Solve(assumptions ...Lit) Status {
-	return s.solve(assumptions...)
+	return s.solve(nil, assumptions...)
+}
+
+// SolveCtx is Solve with cooperative cancellation: the context is polled
+// at conflict and decision boundaries, and cancellation or deadline
+// expiry returns Canceled. Learned clauses are kept, so a later call can
+// resume from the accumulated knowledge.
+func (s *Solver) SolveCtx(ctx context.Context, assumptions ...Lit) Status {
+	return s.solve(ctx, assumptions...)
 }
 
 // SolveModel runs Solve and, on Sat, also returns the model, indexed by
 // variable.
 func (s *Solver) SolveModel(assumptions ...Lit) (Status, []bool) {
-	st := s.solve(assumptions...)
+	return s.SolveModelCtx(nil, assumptions...)
+}
+
+// SolveModelCtx is SolveModel with cooperative cancellation (see
+// SolveCtx).
+func (s *Solver) SolveModelCtx(ctx context.Context, assumptions ...Lit) (Status, []bool) {
+	st := s.solve(ctx, assumptions...)
 	if st != Sat {
 		return st, nil
 	}

@@ -27,6 +27,7 @@
 package seqver
 
 import (
+	"context"
 	"io"
 
 	"seqver/internal/aig"
@@ -108,7 +109,8 @@ type Options = core.Options
 // Report is a verification outcome.
 type Report = core.Report
 
-// CECOptions tunes the combinational engine ("hybrid", "sat", "bdd").
+// CECOptions tunes the combinational engine ("hybrid", "sat", "bdd",
+// "portfolio") including the wall-clock Budget.
 type CECOptions = cec.Options
 
 // CECResult is the combinational checker's verdict and diagnostics.
@@ -133,16 +135,37 @@ func VerifyAcyclic(c1, c2 *Circuit, opt Options) (*Report, error) {
 	return core.VerifyAcyclic(c1, c2, opt)
 }
 
+// VerifyAcyclicCtx is VerifyAcyclic under cooperative cancellation: the
+// context and Options.CEC.Budget bound the equivalence check's wall
+// clock (whichever deadline is tighter wins), and exhaustion degrades
+// the verdict to Undecided with the unresolved outputs listed in
+// Report.Result.UndecidedOutputs — never a hang or an error.
+func VerifyAcyclicCtx(ctx context.Context, c1, c2 *Circuit, opt Options) (*Report, error) {
+	return core.VerifyAcyclicCtx(ctx, c1, c2, opt)
+}
+
 // Verify prepares the first circuit, mirrors the exposure onto the
 // second by latch name, and runs VerifyAcyclic.
 func Verify(c1, c2 *Circuit, prep PrepareOptions, opt Options) (*Report, error) {
 	return core.Verify(c1, c2, prep, opt)
 }
 
+// VerifyCtx is Verify under cooperative cancellation (see
+// VerifyAcyclicCtx for the budget semantics).
+func VerifyCtx(ctx context.Context, c1, c2 *Circuit, prep PrepareOptions, opt Options) (*Report, error) {
+	return core.VerifyCtx(ctx, c1, c2, prep, opt)
+}
+
 // CheckCombinational exposes the raw combinational equivalence checker
 // (name-aligned inputs/outputs).
 func CheckCombinational(c1, c2 *Circuit, opt CECOptions) (*CECResult, error) {
 	return cec.Check(c1, c2, opt)
+}
+
+// CheckCombinationalCtx is CheckCombinational under cooperative
+// cancellation and the Options.Budget wall-clock bound.
+func CheckCombinationalCtx(ctx context.Context, c1, c2 *Circuit, opt CECOptions) (*CECResult, error) {
+	return cec.CheckCtx(ctx, c1, c2, opt)
 }
 
 // Replay is a concrete distinguishing input sequence reconstructed from
