@@ -18,11 +18,13 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -32,6 +34,7 @@ import (
 	"seqver/internal/cec"
 	"seqver/internal/core"
 	"seqver/internal/netlist"
+	"seqver/internal/obs"
 	"seqver/internal/retime"
 	"seqver/internal/synth"
 )
@@ -45,6 +48,9 @@ type workerResult struct {
 	SATCalls  int     `json:"sat_calls"`
 	Conflicts int64   `json:"conflicts"`
 	Verdict   string  `json:"verdict"`
+	// PhaseNS breaks the last iteration's wall clock down by engine
+	// phase (span name -> cumulative ns), from an obs.SummarySink.
+	PhaseNS map[string]int64 `json:"phase_ns,omitempty"`
 }
 
 type budgetResult struct {
@@ -79,7 +85,37 @@ func main() {
 	// output, which is the parallel hot path this harness tracks.
 	engine := flag.String("engine", "sat", "combinational engine: hybrid, sat, bdd, or portfolio")
 	budgets := flag.String("budgets", "", "comma-separated wall-clock budgets to sweep (e.g. 5ms,20ms,80ms,0; 0: unbudgeted; empty: skip)")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile to FILE")
+	memProfile := flag.String("memprofile", "", "write a pprof heap profile to FILE")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "cecbench:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "cecbench:", err)
+			}
+		}()
+	}
 
 	h, j, err := prepareHJ(*circuit)
 	if err != nil {
@@ -103,8 +139,12 @@ func main() {
 		wr := workerResult{Workers: w, Iters: *iters, MinNSOp: 1<<63 - 1}
 		var total int64
 		for it := 0; it < *iters; it++ {
+			// A fresh summary sink per iteration so phase_ns reports the
+			// last (warmed-up) run rather than a sum across iterations.
+			sum := obs.NewSummarySink()
+			ctx := obs.WithTracer(context.Background(), obs.New(sum))
 			start := time.Now()
-			res, err := cec.Check(h, j, cec.Options{Engine: *engine, Workers: w})
+			res, err := cec.CheckCtx(ctx, h, j, cec.Options{Engine: *engine, Workers: w})
 			if err != nil {
 				fatal(err)
 			}
@@ -116,6 +156,7 @@ func main() {
 			wr.SATCalls = res.SATCalls
 			wr.Conflicts = res.Stats.Conflicts
 			wr.Verdict = res.Verdict.String()
+			wr.PhaseNS = sum.PhaseNS()
 			if res.Verdict != cec.Equivalent {
 				fatal(fmt.Errorf("workers=%d: verdict %v on equivalent pair", w, res.Verdict))
 			}
@@ -124,7 +165,11 @@ func main() {
 		if baseline == 0 {
 			baseline = wr.MinNSOp
 		}
-		wr.Speedup = float64(baseline) / float64(wr.MinNSOp)
+		// Guard the ratio: a sub-resolution timer reading must not poison
+		// the series with Inf/NaN.
+		if wr.MinNSOp > 0 {
+			wr.Speedup = float64(baseline) / float64(wr.MinNSOp)
+		}
 		rep.Results = append(rep.Results, wr)
 		fmt.Fprintf(os.Stderr, "workers=%d  %v/op  speedup %.2fx\n",
 			w, time.Duration(wr.MinNSOp).Round(time.Microsecond), wr.Speedup)

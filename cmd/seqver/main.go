@@ -5,11 +5,20 @@
 //
 //	seqver [-acyclic] [-rewrite] [-engine hybrid|sat|bdd|portfolio]
 //	       [-budget DUR] [-workers N] [-sim-rounds N] [-sim-words N]
-//	       [-stats] [-stats-json FILE] golden.blif revised.blif
+//	       [-stats] [-stats-json FILE] [-trace FILE] [-trace-format F]
+//	       [-progress] [-cpuprofile FILE] [-memprofile FILE]
+//	       golden.blif revised.blif
 //
 // Without -acyclic, feedback latches are exposed (by name, consistently
 // on both sides) before unrolling; with it both circuits must already be
 // feedback-free.
+//
+// -trace FILE records the run as a span/counter event stream: one JSON
+// object per line with -trace-format jsonl (the schema is validated by
+// cmd/tracelint), or a Chrome trace_event file with -trace-format
+// chrome (open in chrome://tracing or https://ui.perfetto.dev).
+// -progress renders coarse phase progress to stderr while the check
+// runs. -cpuprofile/-memprofile write pprof profiles.
 //
 // Exit codes: 0 the circuits are equivalent; 1 they are inequivalent
 // (a counterexample was found); 2 the verdict is undecided (resource
@@ -18,16 +27,22 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"seqver"
+	"seqver/internal/obs"
 )
 
-func main() {
+func main() { os.Exit(run()) }
+
+func run() int {
 	acyclic := flag.Bool("acyclic", false, "circuits are already feedback-free")
 	rewrite := flag.Bool("rewrite", false, "enable Eq. 5 event rewriting (EDBF path)")
 	engine := flag.String("engine", "hybrid", "combinational engine: hybrid, sat, bdd, or portfolio (race SAT vs BDD per miter)")
@@ -38,45 +53,126 @@ func main() {
 	simWords := flag.Int("sim-words", 0, "64-pattern words per simulation round (0: default 4)")
 	maxConflicts := flag.Int64("max-conflicts", 0, "SAT conflict budget per miter (0: default 200000)")
 	stats := flag.Bool("stats", false, "print per-stage engine statistics")
-	statsJSON := flag.String("stats-json", "", "write engine statistics as JSON to FILE (- for stdout)")
+	statsJSON := flag.String("stats-json", "", "write run envelope + engine statistics as JSON to FILE (- for stdout)")
+	trace := flag.String("trace", "", "write a trace of the run to FILE")
+	traceFormat := flag.String("trace-format", "jsonl", "trace format: jsonl (one event per line) or chrome (chrome://tracing)")
+	progress := flag.Bool("progress", false, "render phase progress to stderr")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile to FILE")
+	memProfile := flag.String("memprofile", "", "write a pprof heap profile to FILE")
 	flag.Parse()
 	if flag.NArg() != 2 {
 		fmt.Fprintln(os.Stderr, "usage: seqver [flags] golden.blif revised.blif")
 		flag.PrintDefaults()
-		os.Exit(3)
+		return 3
 	}
-	c1 := load(flag.Arg(0))
-	c2 := load(flag.Arg(1))
 
-	opt := seqver.Options{Rewrite: *rewrite, CEC: seqver.CECOptions{
-		Engine:           *engine,
-		Budget:           *budget,
-		Workers:          *workers,
-		SimRounds:        *simRounds,
-		SimWordsPerRound: *simWords,
-		MaxConflicts:     *maxConflicts,
-	}}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return fail(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return fail(err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "seqver:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle allocations so the heap profile reflects live data
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "seqver:", err)
+			}
+		}()
+	}
+
+	ctx := context.Background()
+	tracer, err := buildTracer(*trace, *traceFormat, *progress)
+	if err != nil {
+		return fail(err)
+	}
+	if tracer != nil {
+		ctx = obs.WithTracer(ctx, tracer)
+		defer func() {
+			if err := tracer.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "seqver: trace:", err)
+			}
+		}()
+	}
+	ctx, root := obs.Start1(ctx, "seqver", obs.S("engine", *engine))
+	defer root.End()
+
+	_, psp := obs.Start(ctx, "parse")
+	c1, err := load(flag.Arg(0))
+	var c2 *seqver.Circuit
+	if err == nil {
+		c2, err = load(flag.Arg(1))
+	}
+	if psp != nil && err == nil {
+		psp.Gauge("parse.gates1", int64(c1.NumGates()))
+		psp.Gauge("parse.gates2", int64(c2.NumGates()))
+	}
+	psp.End()
+	if err != nil {
+		return fail(err)
+	}
+	return check(ctx, c1, c2, checkOptions{
+		acyclic: *acyclic, unateAware: *unateAware,
+		stats: *stats, statsJSON: *statsJSON,
+		budget: *budget, engine: *engine,
+		opt: seqver.Options{Rewrite: *rewrite, CEC: seqver.CECOptions{
+			Engine:           *engine,
+			Budget:           *budget,
+			Workers:          *workers,
+			SimRounds:        *simRounds,
+			SimWordsPerRound: *simWords,
+			MaxConflicts:     *maxConflicts,
+		}},
+	})
+}
+
+type checkOptions struct {
+	acyclic, unateAware bool
+	stats               bool
+	statsJSON           string
+	budget              time.Duration
+	engine              string
+	opt                 seqver.Options
+}
+
+func check(ctx context.Context, c1, c2 *seqver.Circuit, co checkOptions) int {
+	start := time.Now()
 	var rep *seqver.Report
 	var err error
-	if *acyclic {
-		rep, err = seqver.VerifyAcyclic(c1, c2, opt)
+	if co.acyclic {
+		rep, err = seqver.VerifyAcyclicCtx(ctx, c1, c2, co.opt)
 	} else {
-		rep, err = seqver.Verify(c1, c2, seqver.PrepareOptions{UnateAware: *unateAware}, opt)
+		rep, err = seqver.VerifyCtx(ctx, c1, c2, seqver.PrepareOptions{UnateAware: co.unateAware}, co.opt)
 	}
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "seqver:", err)
-		os.Exit(3)
+		return fail(err)
 	}
 	fmt.Printf("method:   %s%s\n", rep.Method, conservativeTag(rep))
 	fmt.Printf("depth:    %d\n", rep.Depth)
 	fmt.Printf("unrolled: %d / %d gates\n", rep.UnrolledGates[0], rep.UnrolledGates[1])
 	fmt.Printf("verdict:  %v  (%v, %d SAT calls)\n", rep.Result.Verdict, rep.Elapsed.Round(1e6), rep.Result.SATCalls)
-	if *stats && rep.Result.Stats != nil {
+	if co.stats && rep.Result.Stats != nil {
 		fmt.Println("--- engine stats ---")
 		fmt.Print(rep.Result.Stats)
 	}
-	if *statsJSON != "" && rep.Result.Stats != nil {
-		writeStatsJSON(*statsJSON, rep.Result.Stats)
+	if co.statsJSON != "" {
+		if err := writeStatsJSON(co.statsJSON, rep, co.engine, time.Since(start)); err != nil {
+			return fail(err)
+		}
 	}
 	switch rep.Result.Verdict {
 	case seqver.Inequivalent:
@@ -86,7 +182,7 @@ func main() {
 			fmt.Printf("  %s = %v\n", k, b2i(v))
 		}
 		// On the CBF path, replay the window as a concrete sequence.
-		if rep.Method == "cbf" && *acyclic {
+		if rep.Method == "cbf" && co.acyclic {
 			if rp, rerr := seqver.ReplayCounterexample(c1, c2, rep.Result.Counterexample); rerr == nil {
 				fmt.Printf("replayed: cycle %d, output %s: %v vs %v\n",
 					rp.Cycle, rp.Output, b2i(rp.Got1), b2i(rp.Got2))
@@ -96,12 +192,11 @@ func main() {
 					for i, v := range row {
 						fmt.Printf(" %s=%d", c1.InputNames()[i], b2i(v))
 					}
-					_ = t
 					fmt.Println()
 				}
 			}
 		}
-		os.Exit(1)
+		return 1
 	case seqver.Undecided:
 		if un := rep.Result.UndecidedOutputs; len(un) > 0 {
 			fmt.Printf("undecided outputs (%d):\n", len(un))
@@ -109,15 +204,77 @@ func main() {
 				fmt.Printf("  %s\n", name)
 			}
 		}
-		if *budget > 0 {
+		if co.budget > 0 {
 			fmt.Printf("budget %v exhausted; rerun with a larger -budget to resolve\n",
-				budgetRound(*budget))
+				co.budget.Round(time.Millisecond))
 		}
-		os.Exit(2)
+		return 2
 	}
+	return 0
 }
 
-func budgetRound(d time.Duration) time.Duration { return d.Round(time.Millisecond) }
+// buildTracer assembles the sink stack selected by the flags; a nil
+// tracer (no flags) keeps the whole pipeline on its zero-cost path.
+func buildTracer(path, format string, progress bool) (*obs.Tracer, error) {
+	var sinks []obs.Sink
+	if path != "" {
+		f, err := os.Create(path)
+		if err != nil {
+			return nil, err
+		}
+		switch format {
+		case "jsonl":
+			sinks = append(sinks, obs.NewJSONLSink(f))
+		case "chrome":
+			sinks = append(sinks, obs.NewChromeSink(f))
+		default:
+			f.Close()
+			return nil, fmt.Errorf("unknown -trace-format %q (want jsonl or chrome)", format)
+		}
+	}
+	if progress {
+		sinks = append(sinks, obs.NewProgressSink(os.Stderr))
+	}
+	if len(sinks) == 0 {
+		return nil, nil
+	}
+	return obs.New(sinks...), nil
+}
+
+// statsEnvelope wraps the engine statistics with enough run context to
+// interpret an archived file on its own: which tool and version
+// produced it, what it decided, and how long the whole run took.
+type statsEnvelope struct {
+	Tool      string           `json:"tool"`
+	Version   string           `json:"version"`
+	Verdict   string           `json:"verdict"`
+	Method    string           `json:"method"`
+	Engine    string           `json:"engine"`
+	ElapsedNS int64            `json:"elapsed_ns"`
+	Stats     *seqver.CECStats `json:"stats,omitempty"`
+}
+
+func writeStatsJSON(path string, rep *seqver.Report, engine string, elapsed time.Duration) error {
+	env := statsEnvelope{
+		Tool:      "seqver",
+		Version:   seqver.Version,
+		Verdict:   fmt.Sprint(rep.Result.Verdict),
+		Method:    rep.Method,
+		Engine:    engine,
+		ElapsedNS: elapsed.Nanoseconds(),
+		Stats:     rep.Result.Stats,
+	}
+	data, err := json.MarshalIndent(env, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if path == "-" {
+		_, err := os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
 
 func conservativeTag(rep *seqver.Report) string {
 	if rep.Conservative {
@@ -126,21 +283,9 @@ func conservativeTag(rep *seqver.Report) string {
 	return ""
 }
 
-func writeStatsJSON(path string, st *seqver.CECStats) {
-	data, err := json.MarshalIndent(st, "", "  ")
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "seqver:", err)
-		os.Exit(3)
-	}
-	data = append(data, '\n')
-	if path == "-" {
-		os.Stdout.Write(data)
-		return
-	}
-	if err := os.WriteFile(path, data, 0o644); err != nil {
-		fmt.Fprintln(os.Stderr, "seqver:", err)
-		os.Exit(3)
-	}
+func fail(err error) int {
+	fmt.Fprintln(os.Stderr, "seqver:", err)
+	return 3
 }
 
 func b2i(b bool) int {
@@ -150,17 +295,15 @@ func b2i(b bool) int {
 	return 0
 }
 
-func load(path string) *seqver.Circuit {
+func load(path string) (*seqver.Circuit, error) {
 	f, err := os.Open(path)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "seqver:", err)
-		os.Exit(3)
+		return nil, err
 	}
 	defer f.Close()
 	c, err := seqver.ParseBLIF(f)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "seqver: %s: %v\n", path, err)
-		os.Exit(3)
+		return nil, fmt.Errorf("%s: %w", path, err)
 	}
-	return c
+	return c, nil
 }

@@ -1,0 +1,52 @@
+// Command tracelint validates a JSONL trace produced by
+// `seqver -trace FILE` (or any obs.JSONLSink) against the documented
+// schema: every line must be a well-formed event object with a known
+// type, span begin/end pairs must match by id and name, child spans and
+// events must reference open spans, and every span must be closed by
+// end of stream. CI runs it on a smoke trace so the wire format cannot
+// drift from the documentation silently.
+//
+// Usage:
+//
+//	tracelint FILE...
+//
+// Exit codes: 0 all files valid; 1 a file failed validation; 2 usage or
+// I/O errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"seqver/internal/obs"
+)
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: tracelint FILE...")
+	}
+	flag.Parse()
+	if flag.NArg() == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	code := 0
+	for _, path := range flag.Args() {
+		f, err := os.Open(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tracelint:", err)
+			os.Exit(2)
+		}
+		rep, err := obs.ValidateJSONL(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tracelint: %s: %v\n", path, err)
+			code = 1
+			continue
+		}
+		fmt.Printf("%s: ok (%d lines, %d spans, max depth %d)\n",
+			path, rep.Lines, rep.Spans, rep.MaxDepth)
+	}
+	os.Exit(code)
+}

@@ -3,7 +3,9 @@ package aig
 import (
 	"context"
 	"math/rand"
+	"time"
 
+	"seqver/internal/obs"
 	"seqver/internal/sat"
 )
 
@@ -149,12 +151,22 @@ func FraigExCtx(ctx context.Context, a *AIG, opt FraigOptions) (*AIG, *FraigStat
 		enroll(nd)
 	}
 
+	// Trace sampling: the merge loop reports nodes swept and merges so
+	// far, so a long sweep shows as a moving gauge instead of a silent
+	// gap (the "fraig sweep batches" view of the trace).
+	obsSpan := obs.CurrentSpan(ctx)
+	obsThr := obs.NewThrottle(100 * time.Millisecond)
+
 	repr := make([]Lit, a.NumNodes())
 	repr[0] = False
 	for i := 1; i <= a.numPIs; i++ {
 		repr[i] = MkLit(uint32(i), false)
 	}
 	for i := a.numPIs + 1; i < a.NumNodes(); i++ {
+		if obsSpan != nil && i&0xfff == 0 && obsThr.Ok() {
+			obsSpan.Gauge("fraig.swept", int64(i-a.numPIs))
+			obsSpan.Gauge("fraig.merges", int64(stats.Merges))
+		}
 		e0 := a.fanin0[uint32(i)]
 		e1 := a.fanin1[uint32(i)]
 		f0 := repr[e0.Node()].NotIf(e0.Compl())

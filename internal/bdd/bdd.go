@@ -101,6 +101,15 @@ type Manager struct {
 
 	ctx     context.Context // armed by SetContext; nil means no polling
 	ctxTick int
+
+	// Progress, when non-nil, is invoked with the live node count at
+	// the same boundary where the context is polled (every
+	// ctxPollInterval fresh nodes), so an observer can watch a BDD
+	// build grow — or blow up — without touching the mk hot path: the
+	// nil check is the only cost when unset. The callback runs on the
+	// constructing goroutine and must be cheap; the CEC engine
+	// installs a throttled trace sampler.
+	Progress func(nodes int)
 }
 
 // SetContext arms cooperative cancellation: while ctx is live, node
@@ -171,9 +180,12 @@ func (m *Manager) mk(level int32, lo, hi Ref) Ref {
 	if m.MaxNodes > 0 && len(m.level) >= m.MaxNodes {
 		panic(ErrNodeLimit)
 	}
-	if m.ctxTick++; m.ctx != nil && m.ctxTick >= ctxPollInterval {
+	if m.ctxTick++; m.ctxTick >= ctxPollInterval {
 		m.ctxTick = 0
-		if m.ctx.Err() != nil {
+		if m.Progress != nil {
+			m.Progress(len(m.level))
+		}
+		if m.ctx != nil && m.ctx.Err() != nil {
 			panic(ErrCanceled)
 		}
 	}

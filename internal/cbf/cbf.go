@@ -16,12 +16,14 @@
 package cbf
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strconv"
 	"strings"
 
 	"seqver/internal/netlist"
+	"seqver/internal/obs"
 )
 
 // TimedName renders the unrolled primary-input name for input `name`
@@ -242,6 +244,23 @@ func Unroll(c *netlist.Circuit) (*netlist.Circuit, error) {
 		return nil, fmt.Errorf("cbf: internal error, unrolled circuit invalid: %w", err)
 	}
 	return out, nil
+}
+
+// UnrollCtx is Unroll under the context's tracer: it wraps the
+// construction in a "cbf.unroll" span recording the unrolled gate count
+// and the size of the timed-input window (the Figure 18 replication
+// cost). The unrolling itself is pure and runs to completion.
+func UnrollCtx(ctx context.Context, c *netlist.Circuit) (*netlist.Circuit, error) {
+	_, sp := obs.Start1(ctx, "cbf.unroll", obs.S("circuit", c.Name))
+	out, err := Unroll(c)
+	if sp != nil {
+		if err == nil {
+			sp.Gauge("cbf.gates", int64(out.NumGates()))
+			sp.Gauge("cbf.timed_inputs", int64(len(out.Inputs)))
+		}
+		sp.End()
+	}
+	return out, err
 }
 
 func unrolledName(base string, d int) string {

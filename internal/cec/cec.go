@@ -36,6 +36,7 @@ import (
 	"seqver/internal/aig"
 	"seqver/internal/bdd"
 	"seqver/internal/netlist"
+	"seqver/internal/obs"
 )
 
 // Verdict is the outcome of an equivalence check.
@@ -128,13 +129,21 @@ func CheckCtx(ctx context.Context, c1, c2 *netlist.Circuit, opt Options) (*Resul
 	if err := sameOutputNames(c1, c2); err != nil {
 		return nil, err
 	}
-	piNames, a, pos1, pos2, err := jointAIG(c1, c2)
-	if err != nil {
-		return nil, err
-	}
 	engine := opt.Engine
 	if engine == "" {
 		engine = "hybrid"
+	}
+	ctx, sp := obs.Start(ctx, "cec", obs.S("engine", engine))
+	defer sp.End()
+	_, bsp := obs.Start(ctx, "aig.build")
+	piNames, a, pos1, pos2, err := jointAIG(c1, c2)
+	if bsp != nil && err == nil {
+		bsp.Gauge("aig.ands", int64(a.NumAnds()))
+		bsp.Gauge("aig.inputs", int64(len(piNames)))
+	}
+	bsp.End()
+	if err != nil {
+		return nil, err
 	}
 	res := &Result{
 		Outputs: len(pos1),
@@ -294,9 +303,21 @@ func checkBDD(ctx context.Context, a *aig.AIG, piNames []string, pos1, pos2 []ai
 	if limit == 0 {
 		limit = 2_000_000
 	}
+	_, bsp := obs.Start(ctx, "bdd.build")
+	defer bsp.End()
 	m := bdd.New(len(piNames))
 	m.MaxNodes = limit
 	m.SetContext(ctx)
+	if bsp != nil {
+		// Node-count samples ride the manager's existing poll boundary
+		// (see bdd.Manager.Progress), throttled to trace scale.
+		thr := obs.NewThrottle(50 * time.Millisecond)
+		m.Progress = func(nodes int) {
+			if thr.Ok() {
+				bsp.Gauge("bdd.nodes", int64(nodes))
+			}
+		}
+	}
 	funcs := make([]bdd.Ref, a.NumNodes())
 	funcs[0] = bdd.False
 	for i := 0; i < a.NumPIs(); i++ {

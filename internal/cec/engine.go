@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"seqver/internal/aig"
+	"seqver/internal/obs"
 	"seqver/internal/sat"
 )
 
@@ -59,7 +60,10 @@ func checkSAT(ctx context.Context, a *aig.AIG, piNames []string, pos1, pos2 []ai
 	st.Workers = workers
 
 	// Stage 1: random simulation looks for cheap counterexamples.
-	if hit := simStage(ctx, a, pos1, pos2, opt, st); hit != nil {
+	sctx, ssp := obs.Start(ctx, "sim")
+	hit := simStage(sctx, a, pos1, pos2, opt, st)
+	ssp.End()
+	if hit != nil {
 		res.Verdict = Inequivalent
 		res.FailingOutput = names[hit.out]
 		res.Counterexample = cexAssign(piNames, func(i int) bool {
@@ -74,9 +78,16 @@ func checkSAT(ctx context.Context, a *aig.AIG, piNames []string, pos1, pos2 []ai
 	// stage 3 the only consumer of whatever budget remains.
 	if engine != "sat" {
 		st.FraigNodesBefore = a.NumAnds()
-		af, fst := aig.FraigExCtx(ctx, a, aig.FraigOptions{
+		fctx, fsp := obs.Start(ctx, "fraig")
+		af, fst := aig.FraigExCtx(fctx, a, aig.FraigOptions{
 			Seed: opt.Seed, MaxConflicts: 1000, Workers: workers,
 		})
+		if fsp != nil {
+			fsp.Gauge("fraig.nodes_before", int64(st.FraigNodesBefore))
+			fsp.Gauge("fraig.nodes_after", int64(fst.NodesAfter))
+			fsp.Gauge("fraig.merges", int64(fst.Merges))
+		}
+		fsp.End()
 		st.FraigNodesAfter = fst.NodesAfter
 		st.FraigMerges = fst.Merges
 		st.FraigProveCalls = fst.ProveCalls
@@ -145,6 +156,7 @@ func simStage(ctx context.Context, a *aig.AIG, pos1, pos2 []aig.Lit, opt Options
 	if rounds == 0 {
 		return nil
 	}
+	sp := obs.CurrentSpan(ctx)
 	workers := opt.workerCount()
 	if workers > rounds {
 		workers = rounds
@@ -194,6 +206,9 @@ func simStage(ctx context.Context, a *aig.AIG, pos1, pos2 []aig.Lit, opt Options
 						break
 					}
 				}
+				if sp != nil {
+					sp.Count("sim.rounds", 1)
+				}
 			}
 		}()
 	}
@@ -239,6 +254,8 @@ type workerState struct {
 // an atomic stop flag, and an expired deadline drains the remaining
 // queue as timeouts. Per-output and per-worker accounting lands in st.
 func proveMiters(ctx context.Context, e *proveEnv, workers int, res *Result, st *Stats) {
+	ctx, msp := obs.Start(ctx, "miters")
+	defer msp.End()
 	n := len(e.pos1)
 	perOut := make([]OutputStats, n)
 	var pending []int
@@ -295,12 +312,20 @@ func proveMiters(ctx context.Context, e *proveEnv, workers int, res *Result, st 
 				}
 				t0 := time.Now()
 				o.Worker = w
-				status, engine, cex := e.proveOne(ctx, ws, i, o, st, &mu)
+				ictx, isp := obs.Start1(ctx, "miter", obs.S("output", e.names[i]))
+				status, engine, cex := e.proveOne(ictx, ws, i, o, st, &mu)
+				if isp != nil {
+					isp.Event("resolved", obs.S("status", status), obs.S("engine", engine))
+					isp.End()
+				}
 				o.Status = status
 				o.Engine = engine
 				o.TimeNS = time.Since(t0).Nanoseconds()
 				busy[w] += o.TimeNS
 				e.deadline.finish()
+				if msp != nil {
+					msp.Count("miters.resolved", 1)
+				}
 				switch status {
 				case "cex":
 					mu.Lock()
@@ -374,8 +399,21 @@ func (e *proveEnv) proveOne(ctx context.Context, ws *workerState, i int,
 	}
 	mctx := ctx
 	if e.deadline != nil {
+		d, pending := e.deadline.slice()
+		// The budgeter's grant — and whatever the miter later donates
+		// back by finishing early — lands on the miter's span, so a
+		// trace shows exactly how the wall clock was divided.
+		if sp := obs.CurrentSpan(ctx); sp != nil {
+			sp.Event("budget.slice",
+				obs.I("slice_ns", int64(time.Until(d))), obs.I("pending", int64(pending)))
+			defer func() {
+				if unused := time.Until(d); unused > 0 && status != "timeout" {
+					sp.Event("budget.donate", obs.I("unused_ns", int64(unused)))
+				}
+			}()
+		}
 		var cancel context.CancelFunc
-		mctx, cancel = context.WithDeadline(ctx, e.deadline.sliceDeadline())
+		mctx, cancel = context.WithDeadline(ctx, d)
 		defer cancel()
 	}
 	if e.portfolio {
@@ -390,6 +428,16 @@ func (e *proveEnv) proveOne(ctx context.Context, ws *workerState, i int,
 // (context fired).
 func (e *proveEnv) proveSAT(ctx context.Context, ws *workerState, i int,
 	o *OutputStats) (string, map[string]bool) {
+	if sp := obs.CurrentSpan(ctx); sp != nil {
+		thr := obs.NewThrottle(50 * time.Millisecond)
+		ws.solver.Progress = func(conflicts, decisions int64) {
+			if thr.Ok() {
+				sp.Gauge("sat.conflicts", conflicts)
+				sp.Gauge("sat.decisions", decisions)
+			}
+		}
+		defer func() { ws.solver.Progress = nil }()
+	}
 	l1 := e.a.Encode(ws.solver, ws.cnf, e.pos1[i])
 	l2 := e.a.Encode(ws.solver, ws.cnf, e.pos2[i])
 	ws.solver.MaxConflicts = e.maxConf

@@ -7,6 +7,7 @@ import (
 
 	"seqver/internal/aig"
 	"seqver/internal/bdd"
+	"seqver/internal/obs"
 )
 
 // This file holds the deadline machinery and the per-miter engine
@@ -46,10 +47,11 @@ func (b *budgeter) setPending(n int) {
 	b.mu.Unlock()
 }
 
-// sliceDeadline returns the wall-clock deadline for the next miter: an
-// equal share of whatever budget remains, never past the overall
-// deadline.
-func (b *budgeter) sliceDeadline() time.Time {
+// slice returns the wall-clock deadline for the next miter — an equal
+// share of whatever budget remains, never past the overall deadline —
+// plus the pending-miter count the grant was computed from, for
+// callers that record the decision.
+func (b *budgeter) slice() (time.Time, int) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	p := b.pending
@@ -58,9 +60,9 @@ func (b *budgeter) sliceDeadline() time.Time {
 	}
 	rem := time.Until(b.deadline)
 	if rem <= 0 {
-		return b.deadline
+		return b.deadline, p
 	}
-	return time.Now().Add(rem / time.Duration(p))
+	return time.Now().Add(rem / time.Duration(p)), p
 }
 
 // finish marks one miter as no longer pending.
@@ -97,28 +99,37 @@ func (e *proveEnv) racePortfolio(ctx context.Context, i int, ws *workerState,
 		cex    map[string]bool
 	}
 	results := make(chan armResult, len(portfolioOrder))
-	run := func(eng string, fn func() (string, map[string]bool)) {
+	// spanName is a literal per arm so the no-tracer path never pays a
+	// string concatenation; each arm's span closes before its result is
+	// sent, and the race drains both results, so arm spans always nest
+	// strictly inside the miter span.
+	run := func(eng, spanName string, fn func(context.Context) (string, map[string]bool)) {
 		go func() {
+			actx, asp := obs.Start(rctx, spanName)
 			s := "panic"
 			var cx map[string]bool
 			defer func() {
 				if r := recover(); r != nil {
 					recordPanic(st, mu, e.names[i], r)
 				}
+				if asp != nil {
+					asp.Event("arm.done", obs.S("status", s))
+					asp.End()
+				}
 				results <- armResult{eng, s, cx}
 			}()
-			s, cx = fn()
+			s, cx = fn(actx)
 		}()
 	}
 	for _, eng := range portfolioOrder {
 		switch eng {
 		case "sat":
-			run("sat", func() (string, map[string]bool) {
-				return e.proveSAT(rctx, ws, i, o)
+			run("sat", "sat-arm", func(actx context.Context) (string, map[string]bool) {
+				return e.proveSAT(actx, ws, i, o)
 			})
 		case "bdd":
-			run("bdd", func() (string, map[string]bool) {
-				return e.proveBDDMiter(rctx, i)
+			run("bdd", "bdd-arm", func(actx context.Context) (string, map[string]bool) {
+				return e.proveBDDMiter(actx, i)
 			})
 		}
 	}
@@ -193,6 +204,14 @@ func (e *proveEnv) proveBDDMiter(ctx context.Context, i int) (string, map[string
 	m := bdd.New(len(e.piNames))
 	m.MaxNodes = e.bddLimit
 	m.SetContext(ctx)
+	if sp := obs.CurrentSpan(ctx); sp != nil {
+		thr := obs.NewThrottle(50 * time.Millisecond)
+		m.Progress = func(nodes int) {
+			if thr.Ok() {
+				sp.Gauge("bdd.nodes", int64(nodes))
+			}
+		}
+	}
 	funcs := make([]bdd.Ref, a.NumNodes())
 	funcs[0] = bdd.False
 	for pi := 0; pi < a.NumPIs(); pi++ {

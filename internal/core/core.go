@@ -17,6 +17,7 @@ import (
 	"seqver/internal/edbf"
 	"seqver/internal/feedback"
 	"seqver/internal/netlist"
+	"seqver/internal/obs"
 	"seqver/internal/unate"
 )
 
@@ -53,10 +54,20 @@ type PrepareResult struct {
 // exposes it (optionally after unate re-modeling). The returned circuit
 // is acyclic and ready for retiming/synthesis and CBF/EDBF unrolling.
 func Prepare(a *netlist.Circuit, opt PrepareOptions) (*PrepareResult, error) {
+	return PrepareCtx(context.Background(), a, opt)
+}
+
+// PrepareCtx is Prepare under the context's tracer: a "prepare" span
+// wraps the whole constraint-satisfaction step, with child spans for
+// the unate re-modeling ("unate.model") and feedback-breaking
+// ("feedback.break") phases.
+func PrepareCtx(ctx context.Context, a *netlist.Circuit, opt PrepareOptions) (*PrepareResult, error) {
+	ctx, sp := obs.Start1(ctx, "prepare", obs.S("circuit", a.Name))
+	defer sp.End()
 	res := &PrepareResult{TotalLatches: len(a.Latches)}
 	work := a
 	if opt.UnateAware {
-		modeled, names, err := modelUnate(a)
+		modeled, names, err := modelUnate(ctx, a)
 		if err != nil {
 			return nil, err
 		}
@@ -72,7 +83,7 @@ func Prepare(a *netlist.Circuit, opt PrepareOptions) (*PrepareResult, error) {
 			}
 		}
 	}
-	b, exposed, err := feedback.BreakFeedback(work, prot)
+	b, exposed, err := feedback.BreakFeedbackCtx(ctx, work, prot)
 	if err != nil {
 		return nil, err
 	}
@@ -83,8 +94,8 @@ func Prepare(a *netlist.Circuit, opt PrepareOptions) (*PrepareResult, error) {
 	return res, nil
 }
 
-func modelUnate(a *netlist.Circuit) (*netlist.Circuit, []string, error) {
-	out, modeled, err := unate.ModelFeedback(a)
+func modelUnate(ctx context.Context, a *netlist.Circuit) (*netlist.Circuit, []string, error) {
+	out, modeled, err := unate.ModelFeedbackCtx(ctx, a)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -140,15 +151,17 @@ func VerifyAcyclic(c1, c2 *netlist.Circuit, opt Options) (*Report, error) {
 // unresolved outputs rather than an error (see cec.CheckCtx).
 func VerifyAcyclicCtx(ctx context.Context, c1, c2 *netlist.Circuit, opt Options) (*Report, error) {
 	start := time.Now()
+	ctx, sp := obs.Start(ctx, "verify")
+	defer sp.End()
 	rep := &Report{}
 	var u1, u2 *netlist.Circuit
 	var err error
 	if c1.IsRegular() && c2.IsRegular() {
 		rep.Method = "cbf"
-		if u1, err = cbf.Unroll(c1); err != nil {
+		if u1, err = cbf.UnrollCtx(ctx, c1); err != nil {
 			return nil, err
 		}
-		if u2, err = cbf.Unroll(c2); err != nil {
+		if u2, err = cbf.UnrollCtx(ctx, c2); err != nil {
 			return nil, err
 		}
 		if rep.Depth, err = cbf.SequentialDepth(c1); err != nil {
@@ -159,12 +172,16 @@ func VerifyAcyclicCtx(ctx context.Context, c1, c2 *netlist.Circuit, opt Options)
 		rep.Conservative = true
 		cx := edbf.NewCtx()
 		cx.Rewrite = opt.Rewrite
-		if u1, err = cx.Unroll(c1); err != nil {
+		if u1, err = cx.UnrollCtx(ctx, c1); err != nil {
 			return nil, err
 		}
-		if u2, err = cx.Unroll(c2); err != nil {
+		if u2, err = cx.UnrollCtx(ctx, c2); err != nil {
 			return nil, err
 		}
+	}
+	if sp != nil {
+		sp.Event("unrolled", obs.S("method", rep.Method),
+			obs.I("gates1", int64(u1.NumGates())), obs.I("gates2", int64(u2.NumGates())))
 	}
 	rep.UnrolledGates = [2]int{u1.NumGates(), u2.NumGates()}
 	res, err := cec.CheckCtx(ctx, u1, u2, opt.CEC)
@@ -190,7 +207,7 @@ func Verify(c1, c2 *netlist.Circuit, prep PrepareOptions, opt Options) (*Report,
 // VerifyCtx is Verify under cooperative cancellation (see
 // VerifyAcyclicCtx for the budget semantics).
 func VerifyCtx(ctx context.Context, c1, c2 *netlist.Circuit, prep PrepareOptions, opt Options) (*Report, error) {
-	p1, err := Prepare(c1, prep)
+	p1, err := PrepareCtx(ctx, c1, prep)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,85 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"seqver/internal/obs"
+)
+
+// collect drains the trace a full VerifyCtx run emits through a JSONL
+// sink and returns the validated report plus the raw bytes.
+func runTraced(t *testing.T, unateAware bool) (*obs.LintReport, []byte) {
+	t.Helper()
+	var buf bytes.Buffer
+	tr := obs.New(obs.NewJSONLSink(&buf))
+	ctx := obs.WithTracer(context.Background(), tr)
+
+	c := mixedCircuit()
+	rep, err := VerifyCtx(ctx, c, c, PrepareOptions{UnateAware: unateAware}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Result.Verdict.String() != "equivalent" {
+		t.Fatalf("verdict = %v on identical circuits", rep.Result.Verdict)
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	lint, err := obs.ValidateJSONL(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("emitted trace fails its own linter: %v\n%s", err, buf.Bytes())
+	}
+	return lint, buf.Bytes()
+}
+
+// The full verification pipeline, run with a live tracer, must emit a
+// schema-valid JSONL stream containing the documented phase spans in a
+// properly nested tree. This is the test CI's smoke job mirrors from
+// the shell.
+func TestVerifyCtxEmitsValidTrace(t *testing.T) {
+	lint, raw := runTraced(t, false)
+	if lint.Spans < 5 {
+		t.Errorf("expected at least 5 spans (prepare, feedback.break, verify, unroll, cec), got %d", lint.Spans)
+	}
+	if lint.MaxDepth < 3 {
+		t.Errorf("span tree too flat: max depth %d, want >= 3 (prepare > feedback.break nests under the root)", lint.MaxDepth)
+	}
+	for _, name := range []string{`"prepare"`, `"feedback.break"`, `"verify"`, `"cec"`} {
+		if !bytes.Contains(raw, []byte(name)) {
+			t.Errorf("trace is missing the %s phase span:\n%s", name, raw)
+		}
+	}
+}
+
+func TestPrepareCtxUnateAwareTracesModeling(t *testing.T) {
+	var buf bytes.Buffer
+	tr := obs.New(obs.NewJSONLSink(&buf))
+	ctx := obs.WithTracer(context.Background(), tr)
+	if _, err := PrepareCtx(ctx, mixedCircuit(), PrepareOptions{UnateAware: true}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := obs.ValidateJSONL(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatalf("emitted trace fails its own linter: %v", err)
+	}
+	if !bytes.Contains(buf.Bytes(), []byte(`"unate.model"`)) {
+		t.Errorf("unate-aware run did not trace the re-modeling phase:\n%s", buf.Bytes())
+	}
+}
+
+// With no tracer on the context, VerifyCtx must behave identically —
+// the instrumentation is strictly passive.
+func TestVerifyCtxWithoutTracer(t *testing.T) {
+	c := mixedCircuit()
+	rep, err := VerifyCtx(context.Background(), c, c, PrepareOptions{}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Result.Verdict.String() != "equivalent" {
+		t.Fatalf("verdict = %v", rep.Result.Verdict)
+	}
+}

@@ -23,6 +23,7 @@
 package edbf
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strconv"
@@ -30,6 +31,7 @@ import (
 
 	"seqver/internal/bdd"
 	"seqver/internal/netlist"
+	"seqver/internal/obs"
 )
 
 // Element is one event constituent: an enable predicate (by canonical id)
@@ -257,6 +259,27 @@ func (cx *Ctx) gateBDD(n *netlist.Node, in []bdd.Ref) bdd.Ref {
 // (regular latches degrade to pure delays, so on a regular-latch circuit
 // the EDBF coincides with the CBF up to variable naming).
 func (cx *Ctx) Unroll(c *netlist.Circuit) (*netlist.Circuit, error) {
+	return cx.unroll(c)
+}
+
+// UnrollCtx is Unroll under the context's tracer: an "edbf.unroll" span
+// records the unrolled gate count and the cumulative number of distinct
+// events interned in the shared context (the Section 5.2 blow-up
+// metric).
+func (cx *Ctx) UnrollCtx(ctx context.Context, c *netlist.Circuit) (*netlist.Circuit, error) {
+	_, sp := obs.Start1(ctx, "edbf.unroll", obs.S("circuit", c.Name))
+	out, err := cx.unroll(c)
+	if sp != nil {
+		if err == nil {
+			sp.Gauge("edbf.gates", int64(out.NumGates()))
+			sp.Gauge("edbf.events", int64(cx.NumEvents()))
+		}
+		sp.End()
+	}
+	return out, err
+}
+
+func (cx *Ctx) unroll(c *netlist.Circuit) (*netlist.Circuit, error) {
 	if err := checkAcyclic(c); err != nil {
 		return nil, err
 	}

@@ -12,10 +12,12 @@
 package feedback
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
 	"seqver/internal/netlist"
+	"seqver/internal/obs"
 )
 
 // Graph is the latch dependency graph: vertex i corresponds to
@@ -375,4 +377,20 @@ func BreakFeedback(c *netlist.Circuit, protected map[int]bool) (*netlist.Circuit
 		return nil, nil, err
 	}
 	return out, ids, nil
+}
+
+// BreakFeedbackCtx is BreakFeedback under the context's tracer: a
+// "feedback.break" span records the latch count of the input circuit
+// and how many latches the MFVS heuristic chose to expose.
+func BreakFeedbackCtx(ctx context.Context, c *netlist.Circuit, protected map[int]bool) (*netlist.Circuit, []int, error) {
+	_, sp := obs.Start1(ctx, "feedback.break", obs.S("circuit", c.Name))
+	out, ids, err := BreakFeedback(c, protected)
+	if sp != nil {
+		if err == nil {
+			sp.Gauge("feedback.latches", int64(len(c.Latches)))
+			sp.Gauge("feedback.exposed", int64(len(ids)))
+		}
+		sp.End()
+	}
+	return out, ids, err
 }

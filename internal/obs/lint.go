@@ -1,0 +1,113 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// LintReport summarizes a validated JSONL event stream.
+type LintReport struct {
+	Lines    int // total non-empty lines
+	Spans    int // begin events seen
+	MaxDepth int // deepest nesting observed
+}
+
+// ValidateJSONL checks a JSONL trace against the documented wireEvent
+// schema:
+//
+//   - every non-empty line parses as a JSON object
+//   - type is one of begin|end|instant|count|gauge
+//   - name is non-empty and ts is non-negative
+//   - begin: span id is fresh and non-zero; parent is 0 or an open span
+//   - end: closes exactly one open span, with the begin's name
+//   - instant/count/gauge: span is 0 or references an open span
+//   - at EOF every begun span has ended
+//
+// It returns a summary or the first violation (with its line number).
+func ValidateJSONL(r io.Reader) (*LintReport, error) {
+	type openSpan struct {
+		name  string
+		depth int
+	}
+	open := map[uint64]openSpan{}
+	seen := map[uint64]bool{}
+	rep := &LintReport{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		rep.Lines++
+		var ev wireEvent
+		dec := json.NewDecoder(bytes.NewReader(raw))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&ev); err != nil {
+			return nil, fmt.Errorf("line %d: not a schema event: %w", line, err)
+		}
+		if ev.Name == "" {
+			return nil, fmt.Errorf("line %d: missing name", line)
+		}
+		if ev.TS < 0 {
+			return nil, fmt.Errorf("line %d: negative ts %d", line, ev.TS)
+		}
+		switch ev.Type {
+		case EvBegin:
+			if ev.Span == 0 {
+				return nil, fmt.Errorf("line %d: begin without span id", line)
+			}
+			if seen[ev.Span] {
+				return nil, fmt.Errorf("line %d: span %d reused", line, ev.Span)
+			}
+			depth := 1 // a root span counts as depth 1
+			if ev.Parent != 0 {
+				p, ok := open[ev.Parent]
+				if !ok {
+					return nil, fmt.Errorf("line %d: span %d begun under parent %d, which is not open", line, ev.Span, ev.Parent)
+				}
+				depth = p.depth + 1
+			}
+			seen[ev.Span] = true
+			open[ev.Span] = openSpan{name: ev.Name, depth: depth}
+			rep.Spans++
+			if depth > rep.MaxDepth {
+				rep.MaxDepth = depth
+			}
+		case EvEnd:
+			sp, ok := open[ev.Span]
+			if !ok {
+				return nil, fmt.Errorf("line %d: end of span %d, which is not open", line, ev.Span)
+			}
+			if sp.name != ev.Name {
+				return nil, fmt.Errorf("line %d: end of span %d named %q, begun as %q", line, ev.Span, ev.Name, sp.name)
+			}
+			if ev.Dur < 0 {
+				return nil, fmt.Errorf("line %d: negative dur %d", line, ev.Dur)
+			}
+			delete(open, ev.Span)
+		case EvInstant, EvCount, EvGauge:
+			if ev.Span != 0 {
+				if _, ok := open[ev.Span]; !ok {
+					return nil, fmt.Errorf("line %d: %s event on span %d, which is not open", line, ev.Type, ev.Span)
+				}
+			}
+		default:
+			return nil, fmt.Errorf("line %d: unknown event type %q", line, ev.Type)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(open) > 0 {
+		for id, sp := range open {
+			return nil, fmt.Errorf("span %d (%q) never ended", id, sp.name)
+		}
+	}
+	return rep, nil
+}

@@ -1,0 +1,56 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func lint(t *testing.T, doc string) (*LintReport, error) {
+	t.Helper()
+	return ValidateJSONL(strings.NewReader(doc))
+}
+
+func TestValidateJSONLAccepts(t *testing.T) {
+	doc := `{"type":"begin","ts":0,"name":"cec","span":1}
+{"type":"begin","ts":1,"name":"fraig","span":2,"parent":1}
+{"type":"count","ts":2,"name":"fraig.merges","span":2,"value":3}
+{"type":"gauge","ts":3,"name":"bdd.nodes","span":2,"value":100}
+{"type":"instant","ts":4,"name":"budget.slice","span":2,"attrs":{"pending":4}}
+{"type":"end","ts":5,"name":"fraig","span":2,"dur":4}
+{"type":"end","ts":6,"name":"cec","span":1,"dur":6}
+`
+	rep, err := lint(t, doc)
+	if err != nil {
+		t.Fatalf("valid stream rejected: %v", err)
+	}
+	if rep.Lines != 7 || rep.Spans != 2 || rep.MaxDepth != 2 {
+		t.Fatalf("report = %+v", rep)
+	}
+}
+
+func TestValidateJSONLRejects(t *testing.T) {
+	cases := map[string]string{
+		"not json":           `{"type":`,
+		"unknown type":       `{"type":"bogus","ts":0,"name":"x"}`,
+		"missing name":       `{"type":"begin","ts":0,"span":1}`,
+		"begin without span": `{"type":"begin","ts":0,"name":"x"}`,
+		"unknown field":      `{"type":"begin","ts":0,"name":"x","span":1,"bogus":1}`,
+		"orphan parent":      `{"type":"begin","ts":0,"name":"x","span":1,"parent":9}`,
+		"end of unopened":    `{"type":"end","ts":0,"name":"x","span":7}`,
+		"event on closed span": `{"type":"begin","ts":0,"name":"x","span":1}` + "\n" +
+			`{"type":"end","ts":1,"name":"x","span":1}` + "\n" +
+			`{"type":"count","ts":2,"name":"c","span":1,"value":1}`,
+		"name mismatch": `{"type":"begin","ts":0,"name":"x","span":1}` + "\n" +
+			`{"type":"end","ts":1,"name":"y","span":1}`,
+		"span reuse": `{"type":"begin","ts":0,"name":"x","span":1}` + "\n" +
+			`{"type":"end","ts":1,"name":"x","span":1}` + "\n" +
+			`{"type":"begin","ts":2,"name":"x","span":1}`,
+		"unended span": `{"type":"begin","ts":0,"name":"x","span":1}`,
+		"negative ts":  `{"type":"gauge","ts":-1,"name":"x","value":1}`,
+	}
+	for label, doc := range cases {
+		if _, err := lint(t, doc); err == nil {
+			t.Errorf("%s: accepted invalid stream", label)
+		}
+	}
+}

@@ -1,0 +1,287 @@
+// Package obs is the zero-dependency observability layer of the
+// verification pipeline: hierarchical spans with monotonic timestamps,
+// named counters and gauges, and pluggable sinks (JSONL event stream,
+// Chrome trace_event JSON, a human-readable progress renderer, and an
+// aggregating summary for benchmark harnesses).
+//
+// A Tracer rides on the context.Context that the whole decision stack
+// already threads (see cec.CheckCtx, core.VerifyAcyclicCtx): every
+// instrumented phase calls Start, which is a no-op returning a nil span
+// when no tracer is installed. The overhead contract is strict — with no
+// tracer, Start/End/Count/Gauge cost two context lookups and a nil
+// check, and allocate nothing (pinned by TestNoTracerZeroAlloc with
+// testing.AllocsPerRun). All Span methods are nil-receiver-safe, so
+// instrumentation sites never need to branch on whether tracing is on.
+//
+// # Event model
+//
+// Five event types flow to the sinks, all timestamped in nanoseconds on
+// the tracer's monotonic clock (ns since tracer creation):
+//
+//   - begin:   a span opened (span id, parent span id, name, attrs)
+//   - end:     a span closed (span id, name, dur = ns since its begin)
+//   - instant: a point event attributed to a span (e.g. budget.slice)
+//   - count:   a monotonic counter increment (value = delta)
+//   - gauge:   an absolute sample (value = current level, e.g. bdd.nodes)
+//
+// Spans form a tree via parent ids, not a per-goroutine stack: one
+// "miters" span legitimately has many concurrently open "miter"
+// children, one per pool worker. The documented JSONL wire schema is
+// specified and enforced by ValidateJSONL.
+package obs
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Event types, as they appear on the wire.
+const (
+	EvBegin   = "begin"
+	EvEnd     = "end"
+	EvInstant = "instant"
+	EvCount   = "count"
+	EvGauge   = "gauge"
+)
+
+// Event is one observability record handed to every sink. Ordering is
+// the emission order (serialized under the tracer's mutex); timestamps
+// of events from concurrent goroutines may be slightly out of order
+// relative to that serialization.
+type Event struct {
+	Type   string
+	TS     int64  // ns since the tracer's epoch (monotonic)
+	Span   uint64 // owning span id; 0 for trace-level events
+	Parent uint64 // parent span id (begin events; 0 for roots)
+	Name   string
+	Dur    int64  // ns, end events only
+	Value  int64  // count delta or gauge level
+	Attrs  []Attr // begin and instant events; nil otherwise
+}
+
+// Attr is one key/value attribute. Exactly one of Str/Int is
+// meaningful, selected by IsStr. Attrs are plain values so that
+// building one on a call site never heap-allocates.
+type Attr struct {
+	Key   string
+	Str   string
+	Int   int64
+	IsStr bool
+}
+
+// I builds an integer attribute.
+func I(key string, v int64) Attr { return Attr{Key: key, Int: v} }
+
+// S builds a string attribute.
+func S(key, v string) Attr { return Attr{Key: key, Str: v, IsStr: true} }
+
+// Sink consumes events. Emit calls are serialized by the tracer, so
+// sinks need no internal locking; Close flushes buffered state.
+type Sink interface {
+	Emit(ev Event)
+	Close() error
+}
+
+// Tracer fans events out to its sinks. Create one with New, install it
+// on a context with WithTracer, and Close it when the traced run ends
+// (Close closes every sink).
+type Tracer struct {
+	epoch  time.Time
+	nextID atomic.Uint64
+
+	mu    sync.Mutex
+	sinks []Sink
+}
+
+// New returns a tracer writing to the given sinks. The tracer's clock
+// starts now: all event timestamps are nanoseconds since this call.
+func New(sinks ...Sink) *Tracer {
+	return &Tracer{epoch: time.Now(), sinks: sinks}
+}
+
+// Close closes every sink, returning the first error.
+func (t *Tracer) Close() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var first error
+	for _, s := range t.sinks {
+		if err := s.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	t.sinks = nil
+	return first
+}
+
+func (t *Tracer) now() int64 { return int64(time.Since(t.epoch)) }
+
+func (t *Tracer) emit(ev Event) {
+	t.mu.Lock()
+	for _, s := range t.sinks {
+		s.Emit(ev)
+	}
+	t.mu.Unlock()
+}
+
+type tracerKey struct{}
+type spanKey struct{}
+
+// WithTracer returns a context carrying the tracer. Spans started from
+// the returned context (and its descendants) are roots of the trace.
+func WithTracer(ctx context.Context, t *Tracer) context.Context {
+	return context.WithValue(ctx, tracerKey{}, t)
+}
+
+// FromContext returns the context's tracer, or nil when none is
+// installed. A nil context yields nil.
+func FromContext(ctx context.Context) *Tracer {
+	if ctx == nil {
+		return nil
+	}
+	t, _ := ctx.Value(tracerKey{}).(*Tracer)
+	return t
+}
+
+// CurrentSpan returns the innermost span open on the context, or nil.
+// A nil context yields nil; the result's methods are nil-safe either
+// way.
+func CurrentSpan(ctx context.Context) *Span {
+	if ctx == nil {
+		return nil
+	}
+	sp, _ := ctx.Value(spanKey{}).(*Span)
+	return sp
+}
+
+// Span is one timed region of the pipeline. A nil *Span is the "not
+// tracing" span: every method returns immediately.
+type Span struct {
+	t      *Tracer
+	id     uint64
+	parent uint64
+	name   string
+	start  int64
+	ended  atomic.Bool
+}
+
+// Start opens a span named name as a child of the context's current
+// span and returns a context carrying it. When the context has neither
+// an open span nor a tracer, it returns the context unchanged and a nil
+// span — the documented fast path. Optional attrs annotate the begin
+// event; hot call sites that must stay allocation-free without a tracer
+// should use Start1 instead (a variadic call may allocate its slice
+// before the nil check).
+func Start(ctx context.Context, name string, attrs ...Attr) (context.Context, *Span) {
+	t, parent := startInfo(ctx)
+	if t == nil {
+		return ctx, nil
+	}
+	return startSpan(ctx, t, parent, name, attrs)
+}
+
+// Start1 is Start with exactly one attribute, shaped so that the
+// no-tracer path performs no allocation (the Attr travels by value).
+func Start1(ctx context.Context, name string, a Attr) (context.Context, *Span) {
+	t, parent := startInfo(ctx)
+	if t == nil {
+		return ctx, nil
+	}
+	return startSpan(ctx, t, parent, name, []Attr{a})
+}
+
+func startInfo(ctx context.Context) (*Tracer, uint64) {
+	if ctx == nil {
+		return nil, 0
+	}
+	if sp, _ := ctx.Value(spanKey{}).(*Span); sp != nil {
+		return sp.t, sp.id
+	}
+	t, _ := ctx.Value(tracerKey{}).(*Tracer)
+	return t, 0
+}
+
+func startSpan(ctx context.Context, t *Tracer, parent uint64, name string, attrs []Attr) (context.Context, *Span) {
+	sp := &Span{t: t, id: t.nextID.Add(1), parent: parent, name: name, start: t.now()}
+	t.emit(Event{Type: EvBegin, TS: sp.start, Span: sp.id, Parent: parent, Name: name, Attrs: attrs})
+	return context.WithValue(ctx, spanKey{}, sp), sp
+}
+
+// End closes the span, emitting its duration. Safe on a nil span and
+// idempotent (a second End is dropped), so instrumentation can defer it
+// unconditionally.
+func (sp *Span) End() {
+	if sp == nil || sp.ended.Swap(true) {
+		return
+	}
+	ts := sp.t.now()
+	sp.t.emit(Event{Type: EvEnd, TS: ts, Span: sp.id, Name: sp.name, Dur: ts - sp.start})
+}
+
+// Event emits an instant event attributed to the span. Guard hot call
+// sites with `if sp != nil` so the variadic slice is never built when
+// tracing is off.
+func (sp *Span) Event(name string, attrs ...Attr) {
+	if sp == nil {
+		return
+	}
+	sp.t.emit(Event{Type: EvInstant, TS: sp.t.now(), Span: sp.id, Name: name, Attrs: attrs})
+}
+
+// Count emits a monotonic counter increment attributed to the span.
+// Sinks accumulate per name (the Chrome sink renders a running total).
+func (sp *Span) Count(name string, delta int64) {
+	if sp == nil {
+		return
+	}
+	sp.t.emit(Event{Type: EvCount, TS: sp.t.now(), Span: sp.id, Name: name, Value: delta})
+}
+
+// Gauge emits an absolute sample attributed to the span (e.g. the BDD
+// manager's live node count).
+func (sp *Span) Gauge(name string, v int64) {
+	if sp == nil {
+		return
+	}
+	sp.t.emit(Event{Type: EvGauge, TS: sp.t.now(), Span: sp.id, Name: name, Value: v})
+}
+
+// Throttle rate-limits sampling callbacks (the SAT conflict-rate and
+// BDD node-count hooks fire at solver poll boundaries, far too often to
+// record every time). Ok reports true at most once per interval. Safe
+// for concurrent use.
+type Throttle struct {
+	every int64 // ns
+	last  atomic.Int64
+}
+
+// NewThrottle returns a throttle admitting one Ok per interval. A zero
+// or negative interval admits everything.
+func NewThrottle(interval time.Duration) *Throttle {
+	return &Throttle{every: int64(interval)}
+}
+
+// Ok reports whether enough time has passed since the last admitted
+// call. The first call is always admitted.
+func (th *Throttle) Ok() bool {
+	if th.every <= 0 {
+		return true
+	}
+	now := time.Now().UnixNano()
+	last := th.last.Load()
+	if last != 0 && now-last < th.every {
+		return false
+	}
+	return th.last.CompareAndSwap(last, now)
+}
+
+// Rate divides delta by an elapsed duration in ns, returning events per
+// second, guarded against zero or negative denominators (trivially
+// small circuits can finish a whole phase inside one clock tick).
+func Rate(delta, elapsedNS int64) float64 {
+	if elapsedNS <= 0 {
+		return 0
+	}
+	return float64(delta) * 1e9 / float64(elapsedNS)
+}

@@ -135,6 +135,15 @@ type Solver struct {
 	Stats struct {
 		Decisions, Propagations, Conflicts, Learned, Restarts int64
 	}
+
+	// Progress, when non-nil, is invoked with the current call's
+	// conflict and decision counts at the same boundary where the
+	// context is polled (every ctxPollInterval search steps), so an
+	// observer can sample the conflict rate of a long proof without
+	// touching the search hot path: the nil check is the only cost
+	// when unset. The callback runs on the solving goroutine and must
+	// be cheap; the CEC engine installs a throttled trace sampler.
+	Progress func(conflicts, decisions int64)
 }
 
 // New returns a solver preallocated for nvars variables (more may be
@@ -518,9 +527,12 @@ func (s *Solver) solve(ctx context.Context, assumptions ...Lit) Status {
 		if confl >= 0 {
 			s.Stats.Conflicts++
 			s.conflicts++
-			if tick++; ctx != nil && tick >= ctxPollInterval {
+			if tick++; tick >= ctxPollInterval {
 				tick = 0
-				if ctx.Err() != nil {
+				if s.Progress != nil {
+					s.Progress(s.conflicts, s.decisions)
+				}
+				if ctx != nil && ctx.Err() != nil {
 					return Canceled
 				}
 			}
@@ -570,9 +582,12 @@ func (s *Solver) solve(ctx context.Context, assumptions ...Lit) Status {
 			}
 			continue
 		}
-		if tick++; ctx != nil && tick >= ctxPollInterval {
+		if tick++; tick >= ctxPollInterval {
 			tick = 0
-			if ctx.Err() != nil {
+			if s.Progress != nil {
+				s.Progress(s.conflicts, s.decisions)
+			}
+			if ctx != nil && ctx.Err() != nil {
 				return Canceled
 			}
 		}

@@ -8,10 +8,12 @@
 package unate
 
 import (
+	"context"
 	"fmt"
 
 	"seqver/internal/bdd"
 	"seqver/internal/netlist"
+	"seqver/internal/obs"
 )
 
 // Decomposition is the enabled-latch model of a self-feedback latch:
@@ -319,4 +321,20 @@ func ModelFeedback(c *netlist.Circuit) (*netlist.Circuit, []int, error) {
 		modeled = append(modeled, id)
 	}
 	return out, modeled, nil
+}
+
+// ModelFeedbackCtx is ModelFeedback under the context's tracer: a
+// "unate.model" span records how many self-loop latches passed the
+// Lemma 6.1 unateness check and were re-modeled.
+func ModelFeedbackCtx(ctx context.Context, c *netlist.Circuit) (*netlist.Circuit, []int, error) {
+	_, sp := obs.Start1(ctx, "unate.model", obs.S("circuit", c.Name))
+	out, modeled, err := ModelFeedback(c)
+	if sp != nil {
+		if err == nil {
+			sp.Gauge("unate.latches", int64(len(c.Latches)))
+			sp.Gauge("unate.modeled", int64(len(modeled)))
+		}
+		sp.End()
+	}
+	return out, modeled, err
 }

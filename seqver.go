@@ -37,11 +37,16 @@ import (
 	"seqver/internal/edbf"
 	"seqver/internal/feedback"
 	"seqver/internal/netlist"
+	"seqver/internal/obs"
 	"seqver/internal/retime"
 	"seqver/internal/seqbdd"
 	"seqver/internal/synth"
 	"seqver/internal/unate"
 )
+
+// Version identifies the library/tool build; CLIs stamp it into JSON
+// envelopes so archived results can be tied to the code that made them.
+const Version = "0.4.0"
 
 // Circuit is the sequential circuit model: combinational gates plus
 // single-phase edge-triggered latches with optional load enables.
@@ -99,6 +104,13 @@ type PrepareResult = core.PrepareResult
 // unconstrained retiming+synthesis are valid.
 func Prepare(c *Circuit, opt PrepareOptions) (*PrepareResult, error) {
 	return core.Prepare(c, opt)
+}
+
+// PrepareCtx is Prepare under the context's tracer: the unate
+// re-modeling and feedback-breaking phases appear as spans when a
+// Tracer is attached with WithTracer (see the Tracing section below).
+func PrepareCtx(ctx context.Context, c *Circuit, opt PrepareOptions) (*PrepareResult, error) {
+	return core.PrepareCtx(ctx, c, opt)
 }
 
 // Verification (Figure 19 steps H, J, and the equivalence check).
@@ -304,6 +316,38 @@ type SelfLoopReport = unate.SelfLoopReport
 func AnalyzeSelfLoops(c *Circuit) ([]SelfLoopReport, error) {
 	return unate.AnalyzeSelfLoops(c)
 }
+
+// Tracing (zero-dependency observability; see internal/obs and
+// DESIGN.md §10). A Tracer rides the context passed to the *Ctx entry
+// points; without one every instrumentation site costs a single nil
+// check and allocates nothing.
+
+// Tracer fans span/counter events out to its sinks.
+type Tracer = obs.Tracer
+
+// TraceSink consumes trace events (JSONL stream, Chrome trace,
+// progress renderer, in-memory summary).
+type TraceSink = obs.Sink
+
+// NewTracer returns a tracer emitting to the given sinks.
+func NewTracer(sinks ...TraceSink) *Tracer { return obs.New(sinks...) }
+
+// WithTracer attaches a tracer to a context; pass the result to
+// VerifyCtx / VerifyAcyclicCtx / CheckCombinationalCtx / PrepareCtx.
+func WithTracer(ctx context.Context, t *Tracer) context.Context {
+	return obs.WithTracer(ctx, t)
+}
+
+// NewJSONLTraceSink streams one JSON event object per line to w.
+func NewJSONLTraceSink(w io.Writer) TraceSink { return obs.NewJSONLSink(w) }
+
+// NewChromeTraceSink buffers events and, on Close, writes a Chrome
+// trace_event JSON file loadable in chrome://tracing or Perfetto.
+func NewChromeTraceSink(w io.WriteCloser) TraceSink { return obs.NewChromeSink(w) }
+
+// NewProgressTraceSink renders coarse phase progress and throttled
+// metric rates as human-readable lines (intended for stderr).
+func NewProgressTraceSink(w io.Writer) TraceSink { return obs.NewProgressSink(w) }
 
 // Baseline (Section 2).
 
