@@ -1,0 +1,122 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"seqver/internal/benchfmt"
+)
+
+func writeReport(t *testing.T, dir, name string, rep *benchfmt.Report) string {
+	t.Helper()
+	raw, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func testReport() *benchfmt.Report {
+	return &benchfmt.Report{
+		Circuit: "s3384", Engine: "sat", GOMAXPROCS: 1, NumCPU: 1,
+		Results: []benchfmt.WorkerResult{
+			{Workers: 1, Iters: 5, MeanNSOp: 1_100_000, MinNSOp: 1_000_000, GOMAXPROCS: 1, NumCPU: 1},
+		},
+		BudgetSweep: []benchfmt.BudgetResult{
+			{Budget: "5ms", Iters: 3, MeanNSOp: 5_000_000},
+		},
+	}
+}
+
+func TestRunExitCodes(t *testing.T) {
+	dir := t.TempDir()
+	base := writeReport(t, dir, "base.json", testReport())
+
+	t.Run("identical", func(t *testing.T) {
+		var out, errb bytes.Buffer
+		if code := run([]string{base, base}, &out, &errb); code != 0 {
+			t.Fatalf("identical files: exit %d, want 0\nstderr: %s", code, errb.String())
+		}
+		if !strings.Contains(out.String(), "workers=1") {
+			t.Errorf("table missing worker row:\n%s", out.String())
+		}
+	})
+
+	t.Run("regression", func(t *testing.T) {
+		slow := testReport()
+		slow.Results[0].MinNSOp *= 2
+		head := writeReport(t, dir, "slow.json", slow)
+		var out, errb bytes.Buffer
+		if code := run([]string{base, head}, &out, &errb); code != 1 {
+			t.Fatalf("2x regression: exit %d, want 1", code)
+		}
+		if !strings.Contains(errb.String(), "regression(s)") {
+			t.Errorf("stderr missing regression summary: %s", errb.String())
+		}
+		if !strings.Contains(out.String(), "REGRESSION") {
+			t.Errorf("table missing REGRESSION verdict:\n%s", out.String())
+		}
+	})
+
+	t.Run("procs-mismatch", func(t *testing.T) {
+		other := testReport()
+		other.GOMAXPROCS = 8
+		other.Results[0].GOMAXPROCS = 8
+		head := writeReport(t, dir, "procs.json", other)
+		var out, errb bytes.Buffer
+		if code := run([]string{base, head}, &out, &errb); code != 2 {
+			t.Fatalf("GOMAXPROCS mismatch: exit %d, want 2", code)
+		}
+		if !strings.Contains(errb.String(), "GOMAXPROCS mismatch") {
+			t.Errorf("stderr does not explain the refusal: %s", errb.String())
+		}
+		if code := run([]string{"-allow-procs-mismatch", base, head}, &out, &errb); code != 0 {
+			t.Fatalf("-allow-procs-mismatch: exit %d, want 0", code)
+		}
+	})
+
+	t.Run("threshold-flag", func(t *testing.T) {
+		slow := testReport()
+		slow.Results[0].MinNSOp = 1_500_000 // 1.5x
+		head := writeReport(t, dir, "mild.json", slow)
+		var out, errb bytes.Buffer
+		if code := run([]string{"-threshold", "2.0", base, head}, &out, &errb); code != 0 {
+			t.Fatalf("1.5x under -threshold 2.0: exit %d, want 0", code)
+		}
+		if code := run([]string{"-threshold", "1.2", base, head}, &out, &errb); code != 1 {
+			t.Fatalf("1.5x over -threshold 1.2: exit %d, want 1", code)
+		}
+	})
+
+	t.Run("json-output", func(t *testing.T) {
+		var out, errb bytes.Buffer
+		if code := run([]string{"-json", base, base}, &out, &errb); code != 0 {
+			t.Fatalf("-json: exit %d", code)
+		}
+		var d benchfmt.Diff
+		if err := json.Unmarshal(out.Bytes(), &d); err != nil {
+			t.Fatalf("-json output does not decode: %v\n%s", err, out.String())
+		}
+		if d.Circuit != "s3384" {
+			t.Errorf("decoded circuit = %q", d.Circuit)
+		}
+	})
+
+	t.Run("usage", func(t *testing.T) {
+		var out, errb bytes.Buffer
+		if code := run([]string{base}, &out, &errb); code != 2 {
+			t.Fatalf("one arg: exit %d, want 2", code)
+		}
+		if code := run([]string{base, filepath.Join(dir, "missing.json")}, &out, &errb); code != 2 {
+			t.Fatalf("missing file: exit %d, want 2", code)
+		}
+	})
+}

@@ -11,6 +11,13 @@
 // the verdict and how many outputs were left undecided — the graceful-
 // degradation ablation of EXPERIMENTS.md (a 0 entry means unbudgeted).
 //
+// The report schema lives in internal/benchfmt (shared with the
+// cmd/benchdiff regression gate). Each worker row records the host's
+// GOMAXPROCS and NumCPU and carries an explicit warning when workers
+// exceed GOMAXPROCS — such rows measure scheduling overhead, not
+// parallel speedup, and benchdiff surfaces the warning next to the
+// numbers it explains.
+//
 // Usage:
 //
 //	cecbench [-circuit s3384] [-workers 1,2,4,8] [-iters 3]
@@ -30,6 +37,7 @@ import (
 	"time"
 
 	"seqver/internal/bench"
+	"seqver/internal/benchfmt"
 	"seqver/internal/cbf"
 	"seqver/internal/cec"
 	"seqver/internal/core"
@@ -38,41 +46,6 @@ import (
 	"seqver/internal/retime"
 	"seqver/internal/synth"
 )
-
-type workerResult struct {
-	Workers   int     `json:"workers"`
-	Iters     int     `json:"iters"`
-	MeanNSOp  int64   `json:"mean_ns_op"`
-	MinNSOp   int64   `json:"min_ns_op"`
-	Speedup   float64 `json:"speedup_vs_1_worker"` // from min ns/op
-	SATCalls  int     `json:"sat_calls"`
-	Conflicts int64   `json:"conflicts"`
-	Verdict   string  `json:"verdict"`
-	// PhaseNS breaks the last iteration's wall clock down by engine
-	// phase (span name -> cumulative ns), from an obs.SummarySink.
-	PhaseNS map[string]int64 `json:"phase_ns,omitempty"`
-}
-
-type budgetResult struct {
-	Budget    string `json:"budget"` // "0" means unbudgeted
-	Iters     int    `json:"iters"`
-	MeanNSOp  int64  `json:"mean_ns_op"`
-	MaxNSOp   int64  `json:"max_ns_op"` // must stay near the budget: the degradation guarantee
-	Verdict   string `json:"verdict"`   // from the last iteration
-	Undecided int    `json:"undecided_outputs"`
-	SATCalls  int    `json:"sat_calls"`
-}
-
-type report struct {
-	Circuit     string         `json:"circuit"`
-	Engine      string         `json:"engine"`
-	Outputs     int            `json:"outputs"`
-	GOMAXPROCS  int            `json:"gomaxprocs"`
-	NumCPU      int            `json:"num_cpu"`
-	Date        string         `json:"date"`
-	Results     []workerResult `json:"results"`
-	BudgetSweep []budgetResult `json:"budget_sweep,omitempty"`
-}
 
 func main() {
 	circuit := flag.String("circuit", "s3384", "Table-1 spec name for the miter pair")
@@ -121,7 +94,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	rep := report{
+	rep := benchfmt.Report{
 		Circuit:    *circuit,
 		Engine:     *engine,
 		Outputs:    len(h.Outputs),
@@ -136,7 +109,18 @@ func main() {
 		if err != nil || w < 1 {
 			fatal(fmt.Errorf("bad worker count %q", field))
 		}
-		wr := workerResult{Workers: w, Iters: *iters, MinNSOp: 1<<63 - 1}
+		wr := benchfmt.WorkerResult{
+			Workers: w, Iters: *iters, MinNSOp: 1<<63 - 1,
+			// Recorded per row, not only in the header: rows spliced
+			// into other files stay self-describing.
+			GOMAXPROCS: runtime.GOMAXPROCS(0),
+			NumCPU:     runtime.NumCPU(),
+		}
+		if w > wr.GOMAXPROCS {
+			wr.Warning = fmt.Sprintf(
+				"workers=%d exceeds GOMAXPROCS=%d: row measures scheduling overhead, not parallel speedup", w, wr.GOMAXPROCS)
+			fmt.Fprintln(os.Stderr, "cecbench: warning:", wr.Warning)
+		}
 		var total int64
 		for it := 0; it < *iters; it++ {
 			// A fresh summary sink per iteration so phase_ns reports the
@@ -184,7 +168,7 @@ func main() {
 			if err != nil || bd < 0 {
 				fatal(fmt.Errorf("bad budget %q", field))
 			}
-			br := budgetResult{Budget: bd.String(), Iters: *iters}
+			br := benchfmt.BudgetResult{Budget: bd.String(), Iters: *iters}
 			if bd == 0 {
 				br.Budget = "0"
 			}

@@ -7,6 +7,8 @@
 //	       [-budget DUR] [-workers N] [-sim-rounds N] [-sim-words N]
 //	       [-stats] [-stats-json FILE] [-trace FILE] [-trace-format F]
 //	       [-progress] [-cpuprofile FILE] [-memprofile FILE]
+//	       [-debug-addr ADDR] [-debug-linger DUR]
+//	       [-flight] [-flight-events N] [-flight-dir DIR]
 //	       golden.blif revised.blif
 //
 // Without -acyclic, feedback latches are exposed (by name, consistently
@@ -20,6 +22,19 @@
 // -progress renders coarse phase progress to stderr while the check
 // runs. -cpuprofile/-memprofile write pprof profiles.
 //
+// -debug-addr ADDR serves live introspection over HTTP while the check
+// grinds: /metrics (Prometheus text exposition of the aggregate
+// counters, gauges, and phase-latency histograms), /healthz, expvar at
+// /debug/vars, and the full net/http/pprof suite. -debug-linger keeps
+// the server up after the verdict so short runs can still be scraped.
+//
+// The flight recorder (-flight, on by default) keeps a bounded ring of
+// the last -flight-events trace events at negligible cost; when a run
+// ends Undecided, errors out, or recovers a worker panic, the ring is
+// dumped to seqver-flight-<timestamp>.jsonl in -flight-dir — a
+// schema-valid trace (cmd/tracelint accepts it) of the run's last
+// moments, the post-mortem for "why did this output time out".
+//
 // Exit codes: 0 the circuits are equivalent; 1 they are inequivalent
 // (a counterexample was found); 2 the verdict is undecided (resource
 // budget exhausted — rerun with a larger -budget or -max-conflicts);
@@ -32,11 +47,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"time"
 
 	"seqver"
+	"seqver/internal/metrics"
 	"seqver/internal/obs"
 )
 
@@ -59,6 +76,11 @@ func run() int {
 	progress := flag.Bool("progress", false, "render phase progress to stderr")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile to FILE")
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile to FILE")
+	debugAddr := flag.String("debug-addr", "", "serve /metrics, /healthz, /debug/vars, /debug/pprof on ADDR (e.g. :8080) during the run")
+	debugLinger := flag.Duration("debug-linger", 0, "keep the -debug-addr server up for DUR after the verdict (0: exit immediately)")
+	flight := flag.Bool("flight", true, "flight recorder: ring-buffer the trace; dump it on undecided, error, or recovered panic")
+	flightEvents := flag.Int("flight-events", obs.DefaultRingSize, "flight recorder capacity in events")
+	flightDir := flag.String("flight-dir", ".", "directory for flight-recorder dumps")
 	flag.Parse()
 	if flag.NArg() != 2 {
 		fmt.Fprintln(os.Stderr, "usage: seqver [flags] golden.blif revised.blif")
@@ -96,7 +118,24 @@ func run() int {
 	}
 
 	ctx := context.Background()
-	tracer, err := buildTracer(*trace, *traceFormat, *progress)
+
+	// Live debug endpoint: the registry aggregates across the whole
+	// process lifetime and is scraped while the check grinds.
+	var dbg *metrics.DebugServer
+	var reg *metrics.Registry
+	if *debugAddr != "" {
+		reg = metrics.NewRegistry()
+		var err error
+		dbg, err = metrics.StartDebugServer(*debugAddr, reg)
+		if err != nil {
+			return fail(err)
+		}
+		defer dbg.Close()
+		fmt.Fprintf(os.Stderr, "seqver: debug server on http://%s (/metrics /healthz /debug/vars /debug/pprof)\n", dbg.Addr)
+		ctx = metrics.WithRegistry(ctx, reg)
+	}
+
+	tracer, ring, err := buildTracer(*trace, *traceFormat, *progress, reg, *flight, *flightEvents)
 	if err != nil {
 		return fail(err)
 	}
@@ -122,22 +161,55 @@ func run() int {
 		psp.Gauge("parse.gates2", int64(c2.NumGates()))
 	}
 	psp.End()
+
+	var code int
+	var rep *seqver.Report
 	if err != nil {
-		return fail(err)
+		code = fail(err)
+	} else {
+		code, rep = check(ctx, c1, c2, checkOptions{
+			acyclic: *acyclic, unateAware: *unateAware,
+			stats: *stats, statsJSON: *statsJSON,
+			budget: *budget, engine: *engine,
+			opt: seqver.Options{Rewrite: *rewrite, CEC: seqver.CECOptions{
+				Engine:           *engine,
+				Budget:           *budget,
+				Workers:          *workers,
+				SimRounds:        *simRounds,
+				SimWordsPerRound: *simWords,
+				MaxConflicts:     *maxConflicts,
+			}},
+		})
 	}
-	return check(ctx, c1, c2, checkOptions{
-		acyclic: *acyclic, unateAware: *unateAware,
-		stats: *stats, statsJSON: *statsJSON,
-		budget: *budget, engine: *engine,
-		opt: seqver.Options{Rewrite: *rewrite, CEC: seqver.CECOptions{
-			Engine:           *engine,
-			Budget:           *budget,
-			Workers:          *workers,
-			SimRounds:        *simRounds,
-			SimWordsPerRound: *simWords,
-			MaxConflicts:     *maxConflicts,
-		}},
-	})
+	root.End() // close the root now so a flight dump needs no repair for it
+
+	// Flight recorder: leave a post-mortem artifact whenever the run did
+	// not reach a clean verdict — Undecided (2), usage/input/internal
+	// error (3), or any recovered worker panic.
+	panicked := rep != nil && rep.Result.Stats != nil && len(rep.Result.Stats.Panics) > 0
+	if ring != nil && (code >= 2 || panicked) {
+		dumpFlight(ring, *flightDir)
+	}
+
+	if dbg != nil && *debugLinger > 0 {
+		fmt.Fprintf(os.Stderr, "seqver: verdict ready (exit %d); debug server lingering %v on http://%s\n",
+			code, *debugLinger, dbg.Addr)
+		time.Sleep(*debugLinger)
+	}
+	return code
+}
+
+// dumpFlight writes the ring to seqver-flight-<utc timestamp>.jsonl in
+// dir, reporting (not failing on) I/O errors — the dump is a best-effort
+// diagnostic riding an already-bad exit.
+func dumpFlight(ring *obs.RingSink, dir string) {
+	path := filepath.Join(dir, "seqver-flight-"+time.Now().UTC().Format("20060102T150405.000000000Z")+".jsonl")
+	if err := ring.DumpFile(path); err != nil {
+		fmt.Fprintln(os.Stderr, "seqver: flight recorder:", err)
+		return
+	}
+	fmt.Fprintf(os.Stderr, "seqver: flight recorder: %d events (%d dropped) -> %s\n",
+		len(ring.Events()), ring.Dropped(), path)
 }
 
 type checkOptions struct {
@@ -149,7 +221,10 @@ type checkOptions struct {
 	opt                 seqver.Options
 }
 
-func check(ctx context.Context, c1, c2 *seqver.Circuit, co checkOptions) int {
+// check runs the verification and prints the verdict, returning the
+// exit code plus the report (nil on error) so the caller can decide on
+// a flight-recorder dump.
+func check(ctx context.Context, c1, c2 *seqver.Circuit, co checkOptions) (int, *seqver.Report) {
 	start := time.Now()
 	var rep *seqver.Report
 	var err error
@@ -159,7 +234,7 @@ func check(ctx context.Context, c1, c2 *seqver.Circuit, co checkOptions) int {
 		rep, err = seqver.VerifyCtx(ctx, c1, c2, seqver.PrepareOptions{UnateAware: co.unateAware}, co.opt)
 	}
 	if err != nil {
-		return fail(err)
+		return fail(err), nil
 	}
 	fmt.Printf("method:   %s%s\n", rep.Method, conservativeTag(rep))
 	fmt.Printf("depth:    %d\n", rep.Depth)
@@ -171,7 +246,7 @@ func check(ctx context.Context, c1, c2 *seqver.Circuit, co checkOptions) int {
 	}
 	if co.statsJSON != "" {
 		if err := writeStatsJSON(co.statsJSON, rep, co.engine, time.Since(start)); err != nil {
-			return fail(err)
+			return fail(err), rep
 		}
 	}
 	switch rep.Result.Verdict {
@@ -196,7 +271,7 @@ func check(ctx context.Context, c1, c2 *seqver.Circuit, co checkOptions) int {
 				}
 			}
 		}
-		return 1
+		return 1, rep
 	case seqver.Undecided:
 		if un := rep.Result.UndecidedOutputs; len(un) > 0 {
 			fmt.Printf("undecided outputs (%d):\n", len(un))
@@ -208,19 +283,23 @@ func check(ctx context.Context, c1, c2 *seqver.Circuit, co checkOptions) int {
 			fmt.Printf("budget %v exhausted; rerun with a larger -budget to resolve\n",
 				co.budget.Round(time.Millisecond))
 		}
-		return 2
+		return 2, rep
 	}
-	return 0
+	return 0, rep
 }
 
-// buildTracer assembles the sink stack selected by the flags; a nil
-// tracer (no flags) keeps the whole pipeline on its zero-cost path.
-func buildTracer(path, format string, progress bool) (*obs.Tracer, error) {
+// buildTracer assembles the sink stack selected by the flags: the trace
+// file, the stderr progress renderer, the metrics folder (when a
+// registry is live), and the flight-recorder ring. With everything off
+// (-flight=false and no other sink) it returns a nil tracer, keeping
+// the whole pipeline on its zero-cost path.
+func buildTracer(path, format string, progress bool, reg *metrics.Registry,
+	flight bool, flightEvents int) (*obs.Tracer, *obs.RingSink, error) {
 	var sinks []obs.Sink
 	if path != "" {
 		f, err := os.Create(path)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		switch format {
 		case "jsonl":
@@ -229,40 +308,60 @@ func buildTracer(path, format string, progress bool) (*obs.Tracer, error) {
 			sinks = append(sinks, obs.NewChromeSink(f))
 		default:
 			f.Close()
-			return nil, fmt.Errorf("unknown -trace-format %q (want jsonl or chrome)", format)
+			return nil, nil, fmt.Errorf("unknown -trace-format %q (want jsonl or chrome)", format)
 		}
 	}
 	if progress {
 		sinks = append(sinks, obs.NewProgressSink(os.Stderr))
 	}
-	if len(sinks) == 0 {
-		return nil, nil
+	if reg != nil {
+		// Folds span durations into the seqver_phase_seconds histogram
+		// (and counts/gauges into the registry) for /metrics.
+		sinks = append(sinks, metrics.NewSink(reg))
 	}
-	return obs.New(sinks...), nil
+	var ring *obs.RingSink
+	if flight {
+		ring = obs.NewRingSink(flightEvents)
+		sinks = append(sinks, ring)
+	}
+	if len(sinks) == 0 {
+		return nil, nil, nil
+	}
+	return obs.New(sinks...), ring, nil
 }
 
 // statsEnvelope wraps the engine statistics with enough run context to
 // interpret an archived file on its own: which tool and version
-// produced it, what it decided, and how long the whole run took.
+// produced it, what it decided, how long the whole run took, and what
+// hardware it ran on — gomaxprocs/num_cpu/hostname make files from
+// different hosts comparable with benchdiff-style tooling (elapsed_ns
+// from a 1-CPU box and a 32-core server are different measurements).
 type statsEnvelope struct {
-	Tool      string           `json:"tool"`
-	Version   string           `json:"version"`
-	Verdict   string           `json:"verdict"`
-	Method    string           `json:"method"`
-	Engine    string           `json:"engine"`
-	ElapsedNS int64            `json:"elapsed_ns"`
-	Stats     *seqver.CECStats `json:"stats,omitempty"`
+	Tool       string           `json:"tool"`
+	Version    string           `json:"version"`
+	Verdict    string           `json:"verdict"`
+	Method     string           `json:"method"`
+	Engine     string           `json:"engine"`
+	ElapsedNS  int64            `json:"elapsed_ns"`
+	GOMAXPROCS int              `json:"gomaxprocs"`
+	NumCPU     int              `json:"num_cpu"`
+	Hostname   string           `json:"hostname,omitempty"`
+	Stats      *seqver.CECStats `json:"stats,omitempty"`
 }
 
 func writeStatsJSON(path string, rep *seqver.Report, engine string, elapsed time.Duration) error {
+	hostname, _ := os.Hostname() // best-effort; omitted when unavailable
 	env := statsEnvelope{
-		Tool:      "seqver",
-		Version:   seqver.Version,
-		Verdict:   fmt.Sprint(rep.Result.Verdict),
-		Method:    rep.Method,
-		Engine:    engine,
-		ElapsedNS: elapsed.Nanoseconds(),
-		Stats:     rep.Result.Stats,
+		Tool:       "seqver",
+		Version:    seqver.Version,
+		Verdict:    fmt.Sprint(rep.Result.Verdict),
+		Method:     rep.Method,
+		Engine:     engine,
+		ElapsedNS:  elapsed.Nanoseconds(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Hostname:   hostname,
+		Stats:      rep.Result.Stats,
 	}
 	data, err := json.MarshalIndent(env, "", "  ")
 	if err != nil {

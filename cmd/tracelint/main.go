@@ -1,14 +1,18 @@
 // Command tracelint validates a JSONL trace produced by
-// `seqver -trace FILE` (or any obs.JSONLSink) against the documented
-// schema: every line must be a well-formed event object with a known
-// type, span begin/end pairs must match by id and name, child spans and
-// events must reference open spans, and every span must be closed by
-// end of stream. CI runs it on a smoke trace so the wire format cannot
-// drift from the documentation silently.
+// `seqver -trace FILE` (or any obs.JSONLSink, including the flight
+// recorder's repaired dumps) against the documented schema: every line
+// must be a well-formed event object with a known type, span begin/end
+// pairs must match by id and name, child spans and events must
+// reference open spans, and every span must be closed by end of stream.
+// CI runs it on a smoke trace so the wire format cannot drift from the
+// documentation silently.
 //
 // Usage:
 //
-//	tracelint FILE...
+//	tracelint [-q] FILE...
+//
+// -q prints only the per-file verdict ("ok" / "FAIL"), for scripts that
+// want the exit code and a terse log line rather than the span summary.
 //
 // Exit codes: 0 all files valid; 1 a file failed validation; 2 usage or
 // I/O errors.
@@ -17,36 +21,54 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"seqver/internal/obs"
 )
 
-func main() {
-	flag.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: tracelint FILE...")
+func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
+
+// run is main with its streams and exit code lifted out for tests.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("tracelint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	quiet := fs.Bool("q", false, "print only the per-file verdict")
+	fs.Usage = func() {
+		fmt.Fprintln(stderr, "usage: tracelint [-q] FILE...")
+		fs.PrintDefaults()
 	}
-	flag.Parse()
-	if flag.NArg() == 0 {
-		flag.Usage()
-		os.Exit(2)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() == 0 {
+		fs.Usage()
+		return 2
 	}
 	code := 0
-	for _, path := range flag.Args() {
+	for _, path := range fs.Args() {
 		f, err := os.Open(path)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "tracelint:", err)
-			os.Exit(2)
+			fmt.Fprintln(stderr, "tracelint:", err)
+			return 2
 		}
 		rep, err := obs.ValidateJSONL(f)
 		f.Close()
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "tracelint: %s: %v\n", path, err)
+			if *quiet {
+				fmt.Fprintf(stdout, "%s: FAIL\n", path)
+			} else {
+				fmt.Fprintf(stderr, "tracelint: %s: %v\n", path, err)
+			}
 			code = 1
 			continue
 		}
-		fmt.Printf("%s: ok (%d lines, %d spans, max depth %d)\n",
-			path, rep.Lines, rep.Spans, rep.MaxDepth)
+		if *quiet {
+			fmt.Fprintf(stdout, "%s: ok\n", path)
+		} else {
+			fmt.Fprintf(stdout, "%s: ok (%d lines, %d spans, max depth %d)\n",
+				path, rep.Lines, rep.Spans, rep.MaxDepth)
+		}
 	}
-	os.Exit(code)
+	return code
 }

@@ -1,0 +1,74 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestCorruptedTraces is the fixture table for the linter's error
+// surface: each corruption mode has a golden message fragment, so a
+// reworded or relocated diagnostic is a deliberate change here, not an
+// accident.
+func TestCorruptedTraces(t *testing.T) {
+	cases := []struct {
+		fixture string
+		wantErr string // "" means the file must validate
+	}{
+		{"valid.jsonl", ""},
+		{"truncated.jsonl", "line 2: not a schema event"},
+		{"unknown_type.jsonl", `line 2: unknown event type "checkpoint"`},
+		{"end_before_begin.jsonl", "line 1: end of span 7, which is not open"},
+		{"negative_dur.jsonl", "line 2: negative dur -3"},
+	}
+	for _, c := range cases {
+		t.Run(c.fixture, func(t *testing.T) {
+			path := filepath.Join("testdata", c.fixture)
+			var out, errb bytes.Buffer
+			code := run([]string{path}, &out, &errb)
+			if c.wantErr == "" {
+				if code != 0 {
+					t.Fatalf("exit %d, want 0\nstderr: %s", code, errb.String())
+				}
+				if !strings.Contains(out.String(), ": ok (") {
+					t.Errorf("stdout missing summary: %s", out.String())
+				}
+				return
+			}
+			if code != 1 {
+				t.Fatalf("exit %d, want 1", code)
+			}
+			if !strings.Contains(errb.String(), c.wantErr) {
+				t.Errorf("stderr %q does not contain golden fragment %q", errb.String(), c.wantErr)
+			}
+		})
+	}
+}
+
+func TestQuietFlag(t *testing.T) {
+	valid := filepath.Join("testdata", "valid.jsonl")
+	bad := filepath.Join("testdata", "negative_dur.jsonl")
+
+	var out, errb bytes.Buffer
+	if code := run([]string{"-q", valid, bad}, &out, &errb); code != 1 {
+		t.Fatalf("exit %d, want 1 (one file failed)", code)
+	}
+	wantOut := valid + ": ok\n" + bad + ": FAIL\n"
+	if out.String() != wantOut {
+		t.Errorf("-q stdout = %q, want %q", out.String(), wantOut)
+	}
+	if errb.Len() != 0 {
+		t.Errorf("-q must not write diagnostics to stderr, got %q", errb.String())
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run(nil, &out, &errb); code != 2 {
+		t.Fatalf("no args: exit %d, want 2", code)
+	}
+	if code := run([]string{"testdata/no_such_file.jsonl"}, &out, &errb); code != 2 {
+		t.Fatalf("missing file: exit %d, want 2", code)
+	}
+}

@@ -1,0 +1,200 @@
+package benchfmt
+
+import (
+	"strings"
+	"testing"
+)
+
+func sampleReport() *Report {
+	return &Report{
+		Circuit:    "s3384",
+		Engine:     "sat",
+		Outputs:    26,
+		GOMAXPROCS: 1,
+		NumCPU:     1,
+		Results: []WorkerResult{
+			{Workers: 1, Iters: 5, MeanNSOp: 1_100_000, MinNSOp: 1_000_000, GOMAXPROCS: 1, NumCPU: 1},
+			{Workers: 2, Iters: 5, MeanNSOp: 1_300_000, MinNSOp: 1_200_000, GOMAXPROCS: 1, NumCPU: 1,
+				Warning: "workers=2 exceeds GOMAXPROCS=1: row measures scheduling overhead, not parallel speedup"},
+		},
+		BudgetSweep: []BudgetResult{
+			{Budget: "5ms", Iters: 3, MeanNSOp: 5_000_000, Undecided: 10},
+			{Budget: "0", Iters: 3, MeanNSOp: 40_000_000, Undecided: 0},
+		},
+	}
+}
+
+func TestCompareIdentical(t *testing.T) {
+	d, err := Compare(sampleReport(), sampleReport(), DiffOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Regressions != 0 {
+		t.Fatalf("identical reports: %d regressions, want 0", d.Regressions)
+	}
+	if len(d.Deltas) != 4 {
+		t.Fatalf("deltas = %d, want 4 (2 worker rows + 2 budget rungs)", len(d.Deltas))
+	}
+	if d.Threshold != DefaultThreshold {
+		t.Fatalf("threshold = %v, want default %v", d.Threshold, DefaultThreshold)
+	}
+	for _, delta := range d.Deltas {
+		if delta.Ratio != 1 {
+			t.Errorf("%s: ratio %v, want 1", delta.Key, delta.Ratio)
+		}
+	}
+}
+
+func TestCompareDetectsRegression(t *testing.T) {
+	head := sampleReport()
+	head.Results[0].MinNSOp *= 2 // inject a 2x slowdown on workers=1
+	d, err := Compare(sampleReport(), head, DiffOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Regressions != 1 {
+		t.Fatalf("regressions = %d, want 1", d.Regressions)
+	}
+	var hit *Delta
+	for i := range d.Deltas {
+		if d.Deltas[i].Key == "workers=1" {
+			hit = &d.Deltas[i]
+		}
+	}
+	if hit == nil || !hit.Regression || hit.Ratio != 2 {
+		t.Fatalf("workers=1 delta = %+v, want regression at 2x", hit)
+	}
+}
+
+func TestCompareWorkerRowsUseMin(t *testing.T) {
+	// A mean regression with a stable min is noise by this package's
+	// definition: worker rows gate on min ns/op.
+	head := sampleReport()
+	head.Results[0].MeanNSOp *= 3
+	d, err := Compare(sampleReport(), head, DiffOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Regressions != 0 {
+		t.Fatalf("mean-only slowdown flagged: %d regressions, want 0", d.Regressions)
+	}
+}
+
+func TestCompareBudgetRowsUseMean(t *testing.T) {
+	head := sampleReport()
+	head.BudgetSweep[1].MeanNSOp *= 2
+	d, err := Compare(sampleReport(), head, DiffOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Regressions != 1 {
+		t.Fatalf("budget mean regression not flagged: %d, want 1", d.Regressions)
+	}
+}
+
+func TestCompareThreshold(t *testing.T) {
+	head := sampleReport()
+	head.Results[0].MinNSOp = 1_400_000 // 1.4x
+	if d, _ := Compare(sampleReport(), head, DiffOptions{Threshold: 1.5}); d.Regressions != 0 {
+		t.Fatalf("1.4x under a 1.5x threshold flagged")
+	}
+	if d, _ := Compare(sampleReport(), head, DiffOptions{Threshold: 1.3}); d.Regressions != 1 {
+		t.Fatalf("1.4x over a 1.3x threshold not flagged")
+	}
+	// Threshold <= 1 falls back to the default rather than flagging
+	// every speedup-free row.
+	if d, _ := Compare(sampleReport(), sampleReport(), DiffOptions{Threshold: 0.5}); d.Threshold != DefaultThreshold {
+		t.Fatalf("threshold %v, want default fallback", d.Threshold)
+	}
+}
+
+func TestCompareRefusesMismatches(t *testing.T) {
+	base := sampleReport()
+
+	head := sampleReport()
+	head.Circuit = "s1269"
+	if _, err := Compare(base, head, DiffOptions{}); err == nil || !strings.Contains(err.Error(), "circuit mismatch") {
+		t.Fatalf("circuit mismatch not refused: %v", err)
+	}
+
+	head = sampleReport()
+	head.Engine = "bdd"
+	if _, err := Compare(base, head, DiffOptions{}); err == nil || !strings.Contains(err.Error(), "engine mismatch") {
+		t.Fatalf("engine mismatch not refused: %v", err)
+	}
+
+	head = sampleReport()
+	head.GOMAXPROCS = 8
+	_, err := Compare(base, head, DiffOptions{})
+	if err == nil || !strings.Contains(err.Error(), "GOMAXPROCS mismatch") {
+		t.Fatalf("GOMAXPROCS mismatch not refused: %v", err)
+	}
+	if !strings.Contains(err.Error(), "allow-procs-mismatch") {
+		t.Fatalf("refusal must name the override flag: %v", err)
+	}
+	if _, err := Compare(base, head, DiffOptions{AllowProcsMismatch: true}); err != nil {
+		t.Fatalf("AllowProcsMismatch did not waive the guard: %v", err)
+	}
+
+	// Per-row guard: file headers match but a row was recorded elsewhere.
+	head = sampleReport()
+	head.Results[1].GOMAXPROCS = 16
+	if _, err := Compare(base, head, DiffOptions{}); err == nil || !strings.Contains(err.Error(), "row workers=2") {
+		t.Fatalf("per-row GOMAXPROCS mismatch not refused: %v", err)
+	}
+}
+
+func TestCompareMissingRows(t *testing.T) {
+	head := sampleReport()
+	head.Results = head.Results[:1]                           // workers=2 only in old
+	head.BudgetSweep = append(head.BudgetSweep, BudgetResult{ // 20ms only in new
+		Budget: "20ms", MeanNSOp: 1,
+	})
+	d, err := Compare(sampleReport(), head, DiffOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]bool{
+		"workers=2 (only in old)":   true,
+		"budget=20ms (only in new)": true,
+	}
+	if len(d.Missing) != len(want) {
+		t.Fatalf("missing = %v, want %v", d.Missing, want)
+	}
+	for _, m := range d.Missing {
+		if !want[m] {
+			t.Errorf("unexpected missing entry %q", m)
+		}
+	}
+}
+
+func TestCompareNotes(t *testing.T) {
+	head := sampleReport()
+	head.BudgetSweep[0].Undecided = 14
+	d, err := Compare(sampleReport(), head, DiffOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var note string
+	for _, delta := range d.Deltas {
+		if delta.Key == "budget=5ms" {
+			note = delta.Note
+		}
+	}
+	if !strings.Contains(note, "undecided outputs 10 -> 14") {
+		t.Fatalf("undecided drift not noted: %q", note)
+	}
+	// Oversubscription warnings from either side surface on the row.
+	for _, delta := range d.Deltas {
+		if delta.Key == "workers=2" && !strings.Contains(delta.Note, "exceeds GOMAXPROCS") {
+			t.Fatalf("worker warning not carried into note: %q", delta.Note)
+		}
+	}
+}
+
+func TestReadRejectsUnknownFields(t *testing.T) {
+	_, err := Read(strings.NewReader(`{"circuit":"x","engine":"sat","bogus":1}`))
+	if err == nil {
+		t.Fatal("unknown field accepted; schema drift would compare zeros")
+	}
+}

@@ -35,6 +35,7 @@ import (
 
 	"seqver/internal/aig"
 	"seqver/internal/bdd"
+	"seqver/internal/metrics"
 	"seqver/internal/netlist"
 	"seqver/internal/obs"
 )
@@ -152,6 +153,16 @@ func CheckCtx(ctx context.Context, c1, c2 *netlist.Circuit, opt Options) (*Resul
 	defer func() {
 		res.Elapsed = time.Since(start)
 		res.Stats.ElapsedNS = res.Elapsed.Nanoseconds()
+		// Aggregate-telemetry feed (nil registry: all no-ops). Cold
+		// path — once per Check, after the verdict is known.
+		mreg := metrics.FromContext(ctx)
+		mreg.CounterL("seqver_checks_total",
+			"Completed equivalence checks, by verdict.",
+			"verdict", res.Verdict.String()).Inc()
+		mreg.Histogram("seqver_check_seconds",
+			"Wall-clock duration of whole equivalence checks.").Observe(res.Elapsed.Nanoseconds())
+		mreg.Counter("seqver_undecided_outputs_total",
+			"Output miters left unresolved by budget/limit exhaustion.").Add(int64(len(res.UndecidedOutputs)))
 	}()
 	if opt.Budget > 0 {
 		res.Stats.BudgetNS = opt.Budget.Nanoseconds()

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"seqver/internal/aig"
+	"seqver/internal/metrics"
 	"seqver/internal/obs"
 	"seqver/internal/sat"
 )
@@ -58,11 +59,14 @@ func checkSAT(ctx context.Context, a *aig.AIG, piNames []string, pos1, pos2 []ai
 	workers := opt.workerCount()
 	st := res.Stats
 	st.Workers = workers
+	mreg := metrics.FromContext(ctx)
 
 	// Stage 1: random simulation looks for cheap counterexamples.
 	sctx, ssp := obs.Start(ctx, "sim")
 	hit := simStage(sctx, a, pos1, pos2, opt, st)
 	ssp.End()
+	mreg.Counter("seqver_sim_patterns_total",
+		"Random input vectors simulated in stage 1.").Add(st.SimPatterns)
 	if hit != nil {
 		res.Verdict = Inequivalent
 		res.FailingOutput = names[hit.out]
@@ -91,6 +95,8 @@ func checkSAT(ctx context.Context, a *aig.AIG, piNames []string, pos1, pos2 []ai
 		st.FraigNodesAfter = fst.NodesAfter
 		st.FraigMerges = fst.Merges
 		st.FraigProveCalls = fst.ProveCalls
+		mreg.Counter("seqver_fraig_merges_total",
+			"Internal equivalences merged by SAT sweeping.").Add(int64(fst.Merges))
 		// Recover per-output edges from the fraiged AIG's POs.
 		a = af
 		for i := 0; i < len(pos1); i++ {
@@ -111,8 +117,24 @@ func checkSAT(ctx context.Context, a *aig.AIG, piNames []string, pos1, pos2 []ai
 		portfolio: engine == "portfolio",
 		deadline:  newBudgeter(ctx, len(pos1)),
 	}
+	env.resolveMetrics(mreg)
 	proveMiters(ctx, env, workers, res, st)
 	return res, nil
+}
+
+// resolveMetrics binds the hot-path metric handles. A nil registry
+// yields nil handles whose methods are no-ops.
+func (e *proveEnv) resolveMetrics(mreg *metrics.Registry) {
+	e.mSATCalls = mreg.Counter("seqver_sat_calls_total",
+		"SAT solver invocations across all miter proofs.")
+	e.mSATConflicts = mreg.Counter("seqver_sat_conflicts_total",
+		"CDCL conflicts accumulated across all SAT calls.")
+	e.mSATDecisions = mreg.Counter("seqver_sat_decisions_total",
+		"CDCL decisions accumulated across all SAT calls.")
+	e.mMiters = mreg.Counter("seqver_miters_resolved_total",
+		"Output miters taken off the worker queue (any status).")
+	e.mMiterSeconds = mreg.Histogram("seqver_miter_seconds",
+		"Wall-clock duration of individual miter proofs.")
 }
 
 func (o Options) bddLimit() int {
@@ -239,6 +261,16 @@ type proveEnv struct {
 	bddLimit       int
 	portfolio      bool
 	deadline       *budgeter // nil when neither Budget nor a ctx deadline is set
+
+	// Aggregate-metric handles, pre-resolved once per Check so the
+	// per-miter loop pays one nil check and one atomic add per update
+	// (nil without a registry on the context — same zero-cost contract
+	// as the absent tracer, pinned by metrics.TestNoRegistryZeroAlloc).
+	mSATCalls     *metrics.Counter
+	mSATConflicts *metrics.Counter
+	mSATDecisions *metrics.Counter
+	mMiters       *metrics.Counter
+	mMiterSeconds *metrics.Histogram
 }
 
 // workerState is what each pool worker owns privately: a warm SAT
@@ -323,6 +355,8 @@ func proveMiters(ctx context.Context, e *proveEnv, workers int, res *Result, st 
 				o.TimeNS = time.Since(t0).Nanoseconds()
 				busy[w] += o.TimeNS
 				e.deadline.finish()
+				e.mMiters.Add(1)
+				e.mMiterSeconds.Observe(o.TimeNS)
 				if msp != nil {
 					msp.Count("miters.resolved", 1)
 				}
@@ -450,6 +484,9 @@ func (e *proveEnv) proveSAT(ctx context.Context, ws *workerState, i int,
 		o.SATCalls++
 		o.Conflicts += ws.solver.LastConflicts()
 		o.Decisions += ws.solver.LastDecisions()
+		e.mSATCalls.Add(1)
+		e.mSATConflicts.Add(ws.solver.LastConflicts())
+		e.mSATDecisions.Add(ws.solver.LastDecisions())
 		switch verdict {
 		case sat.Sat:
 			return "cex", cexFromModel(e.a, e.piNames, ws.cnf, model)

@@ -1,0 +1,150 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func ringLint(t *testing.T, s *RingSink) *LintReport {
+	t.Helper()
+	var b bytes.Buffer
+	if err := s.WriteJSONL(&b); err != nil {
+		t.Fatalf("WriteJSONL: %v", err)
+	}
+	rep, err := ValidateJSONL(&b)
+	if err != nil {
+		t.Fatalf("repaired dump does not validate: %v", err)
+	}
+	return rep
+}
+
+func TestRingEvictionOrder(t *testing.T) {
+	s := NewRingSink(3)
+	for i := int64(1); i <= 5; i++ {
+		s.Emit(Event{Type: EvInstant, TS: i, Name: "e", Span: 0})
+	}
+	evs := s.Events()
+	if len(evs) != 3 {
+		t.Fatalf("retained %d events, want 3", len(evs))
+	}
+	for i, want := range []int64{3, 4, 5} {
+		if evs[i].TS != want {
+			t.Errorf("event %d has ts %d, want %d (oldest first)", i, evs[i].TS, want)
+		}
+	}
+	if got := s.Dropped(); got != 2 {
+		t.Errorf("Dropped = %d, want 2", got)
+	}
+}
+
+func TestRingDefaultSize(t *testing.T) {
+	s := NewRingSink(0)
+	if len(s.buf) != DefaultRingSize {
+		t.Fatalf("default ring size = %d, want %d", len(s.buf), DefaultRingSize)
+	}
+	if s.Dropped() != 0 {
+		t.Fatal("fresh ring must report 0 dropped")
+	}
+}
+
+// TestRingDumpCompleteTrace: when nothing was evicted the dump is the
+// trace verbatim and needs no repair.
+func TestRingDumpCompleteTrace(t *testing.T) {
+	s := NewRingSink(16)
+	s.Emit(Event{Type: EvBegin, TS: 0, Name: "check", Span: 1})
+	s.Emit(Event{Type: EvBegin, TS: 1, Name: "sim", Span: 2, Parent: 1})
+	s.Emit(Event{Type: EvCount, TS: 2, Name: "patterns", Span: 2, Value: 64})
+	s.Emit(Event{Type: EvEnd, TS: 3, Name: "sim", Span: 2, Dur: 2})
+	s.Emit(Event{Type: EvEnd, TS: 4, Name: "check", Span: 1, Dur: 4})
+	rep := ringLint(t, s)
+	if rep.Spans != 2 || rep.MaxDepth != 2 {
+		t.Errorf("lint = %+v, want 2 spans, depth 2", rep)
+	}
+}
+
+// TestRingDumpEvictedBegins: the begins fall off the ring but the ends
+// survive; the repair must synthesize begins so the dump validates.
+func TestRingDumpEvictedBegins(t *testing.T) {
+	s := NewRingSink(3)
+	s.Emit(Event{Type: EvBegin, TS: 0, Name: "check", Span: 1})
+	s.Emit(Event{Type: EvBegin, TS: 1, Name: "sim", Span: 2, Parent: 1})
+	s.Emit(Event{Type: EvInstant, TS: 2, Name: "tick", Span: 2})
+	s.Emit(Event{Type: EvEnd, TS: 5, Name: "sim", Span: 2, Dur: 4})
+	s.Emit(Event{Type: EvEnd, TS: 6, Name: "check", Span: 1, Dur: 6})
+	// Ring now holds: instant(2), end sim, end check — both begins evicted.
+	var b bytes.Buffer
+	if err := s.WriteJSONL(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, `"synth":1`) {
+		t.Errorf("dump has no synthetic begin markers:\n%s", out)
+	}
+	rep, err := ValidateJSONL(strings.NewReader(out))
+	if err != nil {
+		t.Fatalf("repaired dump does not validate: %v\n%s", err, out)
+	}
+	if rep.Spans != 2 {
+		t.Errorf("spans = %d, want 2 (both synthesized)", rep.Spans)
+	}
+}
+
+// TestRingDumpOpenSpans: spans still open when the dump is cut get
+// synthetic ends at the tail — the in-flight work is the interesting
+// part of a post-mortem.
+func TestRingDumpOpenSpans(t *testing.T) {
+	s := NewRingSink(8)
+	s.Emit(Event{Type: EvBegin, TS: 0, Name: "check", Span: 1})
+	s.Emit(Event{Type: EvBegin, TS: 1, Name: "miter", Span: 2, Parent: 1})
+	s.Emit(Event{Type: EvGauge, TS: 2, Name: "bdd.nodes", Span: 2, Value: 4096})
+	// Run "dies" here: neither span ended.
+	rep := ringLint(t, s)
+	if rep.Spans != 2 {
+		t.Errorf("spans = %d, want 2", rep.Spans)
+	}
+}
+
+// TestRingDumpMixedRepair drives a big synthetic workload through a
+// small ring and validates the dump, exercising eviction mid-span,
+// orphan ends with durations, and unended children all at once.
+func TestRingDumpMixedRepair(t *testing.T) {
+	s := NewRingSink(5)
+	ts := int64(0)
+	tick := func() int64 { ts++; return ts }
+	s.Emit(Event{Type: EvBegin, TS: tick(), Name: "root", Span: 1})
+	for id := uint64(2); id < 8; id++ {
+		s.Emit(Event{Type: EvBegin, TS: tick(), Name: "miter", Span: id, Parent: 1})
+		s.Emit(Event{Type: EvCount, TS: tick(), Name: "sat.calls", Span: id, Value: 1})
+		s.Emit(Event{Type: EvEnd, TS: tick(), Name: "miter", Span: id, Dur: 2})
+	}
+	// Last miter left open, root never ends.
+	s.Emit(Event{Type: EvBegin, TS: tick(), Name: "miter", Span: 99, Parent: 1})
+	ringLint(t, s)
+}
+
+// TestRingDumpThroughTracer is the integration path: a real tracer
+// feeding the ring alongside a JSONL sink, both outputs validating.
+func TestRingDumpThroughTracer(t *testing.T) {
+	ring := NewRingSink(6) // small enough to force eviction
+	var jsonl bytes.Buffer
+	tr := New(NewJSONLSink(&jsonl), ring)
+	ctx := WithTracer(t.Context(), tr)
+	c, root := Start(ctx, "check")
+	for i := 0; i < 4; i++ {
+		_, sp := Start(c, "miter")
+		sp.Count("sat.calls", 1)
+		sp.End()
+	}
+	root.End()
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ValidateJSONL(bytes.NewReader(jsonl.Bytes())); err != nil {
+		t.Fatalf("full JSONL trace invalid: %v", err)
+	}
+	if s := ring.Dropped(); s == 0 {
+		t.Fatal("test needs eviction to exercise the repair")
+	}
+	ringLint(t, ring)
+}

@@ -46,7 +46,7 @@ import (
 
 // Version identifies the library/tool build; CLIs stamp it into JSON
 // envelopes so archived results can be tied to the code that made them.
-const Version = "0.4.0"
+const Version = "0.5.0"
 
 // Circuit is the sequential circuit model: combinational gates plus
 // single-phase edge-triggered latches with optional load enables.
