@@ -7,7 +7,7 @@
 //
 // Usage:
 //
-//	benchdiff [-threshold 1.25] [-allow-procs-mismatch] [-json] old.json new.json
+//	benchdiff [-threshold 1.25] [-allow-procs-mismatch] [-allow-mode-mismatch] [-json] old.json new.json
 //
 // Exit codes: 0 no regression; 1 at least one row regressed past the
 // threshold; 2 usage errors, unreadable files, or refused comparisons.
@@ -34,9 +34,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		"new/old ratio above which a slowdown is a regression")
 	allowProcs := fs.Bool("allow-procs-mismatch", false,
 		"compare files recorded under different GOMAXPROCS anyway")
+	allowMode := fs.Bool("allow-mode-mismatch", false,
+		"compare files recorded under different SAT modes anyway (the CI incremental-vs-fresh gate)")
 	jsonOut := fs.Bool("json", false, "emit the diff as JSON instead of a table")
 	fs.Usage = func() {
-		fmt.Fprintln(stderr, "usage: benchdiff [-threshold R] [-allow-procs-mismatch] [-json] old.json new.json")
+		fmt.Fprintln(stderr, "usage: benchdiff [-threshold R] [-allow-procs-mismatch] [-allow-mode-mismatch] [-json] old.json new.json")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -59,6 +61,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	diff, err := benchfmt.Compare(base, head, benchfmt.DiffOptions{
 		Threshold:          *threshold,
 		AllowProcsMismatch: *allowProcs,
+		AllowModeMismatch:  *allowMode,
 	})
 	if err != nil {
 		fmt.Fprintln(stderr, "benchdiff: refused:", err)

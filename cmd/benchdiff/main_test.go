@@ -83,6 +83,25 @@ func TestRunExitCodes(t *testing.T) {
 		}
 	})
 
+	t.Run("mode-mismatch", func(t *testing.T) {
+		incr := testReport()
+		incr.SATMode = "incremental"
+		fresh := testReport()
+		fresh.SATMode = "fresh"
+		a := writeReport(t, dir, "incr.json", incr)
+		b := writeReport(t, dir, "fresh.json", fresh)
+		var out, errb bytes.Buffer
+		if code := run([]string{a, b}, &out, &errb); code != 2 {
+			t.Fatalf("SAT mode mismatch: exit %d, want 2", code)
+		}
+		if !strings.Contains(errb.String(), "SAT mode mismatch") {
+			t.Errorf("stderr does not explain the refusal: %s", errb.String())
+		}
+		if code := run([]string{"-allow-mode-mismatch", a, b}, &out, &errb); code != 0 {
+			t.Fatalf("-allow-mode-mismatch: exit %d, want 0", code)
+		}
+	})
+
 	t.Run("threshold-flag", func(t *testing.T) {
 		slow := testReport()
 		slow.Results[0].MinNSOp = 1_500_000 // 1.5x

@@ -21,7 +21,8 @@
 // Usage:
 //
 //	cecbench [-circuit s3384] [-workers 1,2,4,8] [-iters 3]
-//	         [-budgets 5ms,20ms,80ms,0] [-out BENCH_cec.json]
+//	         [-sat-mode incremental|fresh] [-budgets 5ms,20ms,80ms,0]
+//	         [-out BENCH_cec.json]
 package main
 
 import (
@@ -57,6 +58,7 @@ func main() {
 	// the worker pool idle — sat-only keeps one real SAT proof per
 	// output, which is the parallel hot path this harness tracks.
 	engine := flag.String("engine", "sat", "combinational engine: hybrid, sat, bdd, or portfolio")
+	satMode := flag.String("sat-mode", "incremental", "SAT solver state across output miters: incremental or fresh")
 	budgets := flag.String("budgets", "", "comma-separated wall-clock budgets to sweep (e.g. 5ms,20ms,80ms,0; 0: unbudgeted; empty: skip)")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile to FILE")
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile to FILE")
@@ -97,6 +99,7 @@ func main() {
 	rep := benchfmt.Report{
 		Circuit:    *circuit,
 		Engine:     *engine,
+		SATMode:    *satMode,
 		Outputs:    len(h.Outputs),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		NumCPU:     runtime.NumCPU(),
@@ -128,7 +131,7 @@ func main() {
 			sum := obs.NewSummarySink()
 			ctx := obs.WithTracer(context.Background(), obs.New(sum))
 			start := time.Now()
-			res, err := cec.CheckCtx(ctx, h, j, cec.Options{Engine: *engine, Workers: w})
+			res, err := cec.CheckCtx(ctx, h, j, cec.Options{Engine: *engine, SATMode: *satMode, Workers: w})
 			if err != nil {
 				fatal(err)
 			}
@@ -175,7 +178,7 @@ func main() {
 			var total, max int64
 			for it := 0; it < *iters; it++ {
 				start := time.Now()
-				res, err := cec.Check(h, j, cec.Options{Engine: *engine, Budget: bd})
+				res, err := cec.Check(h, j, cec.Options{Engine: *engine, SATMode: *satMode, Budget: bd})
 				if err != nil {
 					fatal(err)
 				}

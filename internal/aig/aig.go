@@ -315,28 +315,52 @@ func (a *AIG) Encode(s *sat.Solver, m *CNFMap, e Lit) sat.Lit {
 	return a.encode(s, m, e)
 }
 
+// encode lazily extends the CNF with e's cone. It is iterative (an
+// explicit stack) so deeply unrolled cones cannot overflow the
+// goroutine stack, but visits nodes in the same pre-order as the
+// natural recursion so solver variable numbering is identical.
 func (a *AIG) encode(s *sat.Solver, m *CNFMap, e Lit) sat.Lit {
-	n := e.Node()
-	v, ok := m.VarOf[n]
-	if !ok {
-		v = s.NewVar()
-		m.VarOf[n] = v
-		switch {
-		case a.IsConst(n):
-			s.AddClause(sat.MkLit(v, true)) // constant false
-		case a.IsPI(n):
-			// free variable
-		default:
-			f0 := a.encode(s, m, a.fanin0[n])
-			f1 := a.encode(s, m, a.fanin1[n])
-			nv := sat.MkLit(v, false)
+	if v, ok := m.VarOf[e.Node()]; ok {
+		return sat.MkLit(v, e.Compl())
+	}
+	type frame struct {
+		n    uint32
+		emit bool // children encoded; emit the Tseitin clauses
+	}
+	stack := []frame{{n: e.Node()}}
+	for len(stack) > 0 {
+		fr := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if fr.emit {
+			nv := sat.MkLit(m.VarOf[fr.n], false)
+			f0 := sat.MkLit(m.VarOf[a.fanin0[fr.n].Node()], a.fanin0[fr.n].Compl())
+			f1 := sat.MkLit(m.VarOf[a.fanin1[fr.n].Node()], a.fanin1[fr.n].Compl())
 			// v <-> f0 & f1
 			s.AddClause(nv.Not(), f0)
 			s.AddClause(nv.Not(), f1)
 			s.AddClause(nv, f0.Not(), f1.Not())
+			continue
+		}
+		if _, ok := m.VarOf[fr.n]; ok {
+			continue // reached via an earlier sibling
+		}
+		v := s.NewVar()
+		m.VarOf[fr.n] = v
+		switch {
+		case a.IsConst(fr.n):
+			s.AddClause(sat.MkLit(v, true)) // constant false
+		case a.IsPI(fr.n):
+			// free variable
+		default:
+			// Emit after both fanin cones; expand fanin0 first to match
+			// the recursive variable order.
+			stack = append(stack,
+				frame{n: fr.n, emit: true},
+				frame{n: a.fanin1[fr.n].Node()},
+				frame{n: a.fanin0[fr.n].Node()})
 		}
 	}
-	return sat.MkLit(v, e.Compl())
+	return sat.MkLit(m.VarOf[e.Node()], e.Compl())
 }
 
 // FromCircuit converts a purely combinational netlist into an AIG.

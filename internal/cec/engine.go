@@ -59,6 +59,11 @@ func checkSAT(ctx context.Context, a *aig.AIG, piNames []string, pos1, pos2 []ai
 	workers := opt.workerCount()
 	st := res.Stats
 	st.Workers = workers
+	satMode := opt.SATMode
+	if satMode == "" {
+		satMode = "incremental"
+	}
+	st.SATMode = satMode
 	mreg := metrics.FromContext(ctx)
 
 	// Stage 1: random simulation looks for cheap counterexamples.
@@ -105,17 +110,33 @@ func checkSAT(ctx context.Context, a *aig.AIG, piNames []string, pos1, pos2 []ai
 		}
 	}
 
-	// Stage 3: one miter per output, proved concurrently.
+	// Stage 3: one miter per output, proved concurrently. The "sat"
+	// engine proves over the unmerged AIG, so fraig-proven internal
+	// equivalences are not folded into the structure. In incremental
+	// mode the workers recover them on demand: the first probe that
+	// burns through classTrigger conflicts without an answer runs one
+	// analysis-only sweep over the joint AIG, and every worker feeds
+	// the resulting classes into its clause database as equality
+	// clauses. Easy sweeps never pay for the analysis; hard miters
+	// amortize it across the remaining queue.
 	maxConf := opt.MaxConflicts
 	if maxConf == 0 {
 		maxConf = 200000
 	}
+	trigger := int64(opt.ClassTriggerConflicts)
+	if trigger == 0 {
+		trigger = 5000
+	}
 	env := &proveEnv{
 		a: a, piNames: piNames, names: names, pos1: pos1, pos2: pos2,
-		maxConf:   maxConf,
-		bddLimit:  opt.bddLimit(),
-		portfolio: engine == "portfolio",
-		deadline:  newBudgeter(ctx, len(pos1)),
+		maxConf:      maxConf,
+		bddLimit:     opt.bddLimit(),
+		portfolio:    engine == "portfolio",
+		incremental:  satMode == "incremental",
+		classTrigger: trigger,
+		classSeed:    opt.Seed,
+		classWorkers: workers,
+		deadline:     newBudgeter(ctx, len(pos1)),
 	}
 	env.resolveMetrics(mreg)
 	proveMiters(ctx, env, workers, res, st)
@@ -135,6 +156,12 @@ func (e *proveEnv) resolveMetrics(mreg *metrics.Registry) {
 		"Output miters taken off the worker queue (any status).")
 	e.mMiterSeconds = mreg.Histogram("seqver_miter_seconds",
 		"Wall-clock duration of individual miter proofs.")
+	e.mClausesReused = mreg.Counter("seqver_sat_clauses_reused_total",
+		"Learned clauses retained from earlier miters and alive at probe start.")
+	e.mVarsEncoded = mreg.Counter("seqver_sat_vars_encoded_total",
+		"Solver variables created by CNF cone encoding.")
+	e.mLearnedDB = mreg.Histogram("seqver_sat_learned_db_size",
+		"Live learned-clause database size at each SAT probe.")
 }
 
 func (o Options) bddLimit() int {
@@ -260,24 +287,51 @@ type proveEnv struct {
 	maxConf        int64
 	bddLimit       int
 	portfolio      bool
+	incremental    bool      // warm per-worker solver vs fresh per miter
 	deadline       *budgeter // nil when neither Budget nor a ctx deadline is set
+
+	// On-demand class analysis (sat engine, incremental mode): the
+	// first probe to exceed classTrigger conflicts runs the fraig
+	// sweep once; classes publishes the result to all workers.
+	classTrigger    int64 // <0: sweep eagerly before the first probe
+	classSeed       int64
+	classWorkers    int
+	classOnce       sync.Once
+	classes         atomic.Pointer[[]aig.EquivPair]
+	fraigProveCalls int // sweep's prove calls, read after the pool drains
+
+	// Reuse-telemetry accumulators, updated atomically by the workers
+	// and folded into Stats once the pool drains.
+	clausesReused  int64
+	varsEncoded    int64
+	dbReductions   int64
+	clausesDeleted int64
+	classesFed     int64
 
 	// Aggregate-metric handles, pre-resolved once per Check so the
 	// per-miter loop pays one nil check and one atomic add per update
 	// (nil without a registry on the context — same zero-cost contract
 	// as the absent tracer, pinned by metrics.TestNoRegistryZeroAlloc).
-	mSATCalls     *metrics.Counter
-	mSATConflicts *metrics.Counter
-	mSATDecisions *metrics.Counter
-	mMiters       *metrics.Counter
-	mMiterSeconds *metrics.Histogram
+	mSATCalls      *metrics.Counter
+	mSATConflicts  *metrics.Counter
+	mSATDecisions  *metrics.Counter
+	mMiters        *metrics.Counter
+	mMiterSeconds  *metrics.Histogram
+	mClausesReused *metrics.Counter
+	mVarsEncoded   *metrics.Counter
+	mLearnedDB     *metrics.Histogram
 }
 
 // workerState is what each pool worker owns privately: a warm SAT
-// solver and its CNF map over the shared read-only AIG.
+// solver and its CNF map over the shared read-only AIG (incremental
+// mode; fresh mode rebuilds both per miter).
 type workerState struct {
 	solver *sat.Solver
 	cnf    *aig.CNFMap
+	// classDone marks env.classes entries already fed into this
+	// worker's clause database (applied lazily once both endpoints of a
+	// pair have been encoded by some cone).
+	classDone []bool
 }
 
 // proveMiters discharges one miter per output on a pool of workers.
@@ -328,7 +382,10 @@ func proveMiters(ctx context.Context, e *proveEnv, workers int, res *Result, st 
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			ws := &workerState{solver: sat.New(0), cnf: &aig.CNFMap{VarOf: map[uint32]int{}}}
+			ws := &workerState{
+				solver: sat.New(0),
+				cnf:    &aig.CNFMap{VarOf: map[uint32]int{}},
+			}
 			for i := range jobs {
 				if stop.Load() {
 					continue // drain: leave the miter marked skipped
@@ -396,6 +453,15 @@ func proveMiters(ctx context.Context, e *proveEnv, workers int, res *Result, st 
 		st.Conflicts += perOut[i].Conflicts
 		st.Decisions += perOut[i].Decisions
 	}
+	st.ClausesReused = e.clausesReused
+	st.VarsEncoded = e.varsEncoded
+	st.DBReductions = e.dbReductions
+	st.ClausesDeleted = e.clausesDeleted
+	st.ClassesFed = int(e.classesFed)
+	if ptr := e.classes.Load(); ptr != nil {
+		st.FraigClasses = len(*ptr)
+		st.FraigProveCalls = e.fraigProveCalls
+	}
 	res.SATCalls = st.SATCalls
 
 	switch {
@@ -457,46 +523,196 @@ func (e *proveEnv) proveOne(ctx context.Context, ws *workerState, i int,
 	return status, "sat", cex
 }
 
-// proveSAT runs the two one-sided miter checks on the worker's warm
-// solver. Statuses: equal | cex | undecided (conflict budget) | timeout
+// proveSAT discharges one output miter. In incremental mode (the
+// default) the probe runs on the worker's warm solver: only the cone
+// delta is encoded into the shared CNF, the two one-sided checks run
+// as assumption probes over the retained clause database (clauses
+// learned on output i prune output i+1), and a proven equality is fed
+// back as permanent clauses for later miters. Directed assumption
+// pairs beat a retractable miter clause under an activation literal
+// here — assumptions propagate both cone values immediately, while an
+// activated disjunction forces the solver to branch on the case split
+// (measured ~20% more conflicts on the s3384 harness). A probe that
+// exhausts the class-trigger conflict cap runs the fraig class
+// analysis once and retries with the classes fed. Fresh mode rebuilds
+// solver and encoding per miter; it is the bisectable baseline.
+// Statuses: equal | cex | undecided (conflict budget) | timeout
 // (context fired).
 func (e *proveEnv) proveSAT(ctx context.Context, ws *workerState, i int,
 	o *OutputStats) (string, map[string]bool) {
+	if !e.incremental {
+		ws.solver = sat.New(0)
+		ws.cnf = &aig.CNFMap{VarOf: map[uint32]int{}}
+	}
+	s := ws.solver
 	if sp := obs.CurrentSpan(ctx); sp != nil {
 		thr := obs.NewThrottle(50 * time.Millisecond)
-		ws.solver.Progress = func(conflicts, decisions int64) {
+		s.Progress = func(conflicts, decisions int64) {
 			if thr.Ok() {
 				sp.Gauge("sat.conflicts", conflicts)
 				sp.Gauge("sat.decisions", decisions)
 			}
 		}
-		defer func() { ws.solver.Progress = nil }()
+		defer func() { s.Progress = nil }()
 	}
-	l1 := e.a.Encode(ws.solver, ws.cnf, e.pos1[i])
-	l2 := e.a.Encode(ws.solver, ws.cnf, e.pos2[i])
-	ws.solver.MaxConflicts = e.maxConf
+	// Per-probe accounting is a delta of the solver's lifetime counters:
+	// a warm solver accumulates across outputs, and absolute counts
+	// would re-bill earlier miters' work to every later one.
+	v0 := s.NumVars()
+	c0, d0, calls0 := s.Stats.Conflicts, s.Stats.Decisions, s.Stats.SolveCalls
+	r0, del0 := s.Stats.Reductions, s.Stats.Deleted
+	defer func() {
+		o.Conflicts = s.Stats.Conflicts - c0
+		o.Decisions = s.Stats.Decisions - d0
+		o.SATCalls = int(s.Stats.SolveCalls - calls0)
+		e.mSATCalls.Add(s.Stats.SolveCalls - calls0)
+		e.mSATConflicts.Add(o.Conflicts)
+		e.mSATDecisions.Add(o.Decisions)
+		atomic.AddInt64(&e.dbReductions, s.Stats.Reductions-r0)
+		atomic.AddInt64(&e.clausesDeleted, s.Stats.Deleted-del0)
+	}()
+
+	l1 := e.a.Encode(s, ws.cnf, e.pos1[i])
+	l2 := e.a.Encode(s, ws.cnf, e.pos2[i])
+	atomic.AddInt64(&e.varsEncoded, int64(s.NumVars()-v0))
+	e.mVarsEncoded.Add(int64(s.NumVars() - v0))
+	s.MaxConflicts = e.maxConf
+
+	if !e.incremental {
+		for pass := 0; pass < 2; pass++ {
+			a1, a2 := l1, l2.Not()
+			if pass == 1 {
+				a1, a2 = l1.Not(), l2
+			}
+			verdict, model := s.SolveModelCtx(ctx, a1, a2)
+			switch verdict {
+			case sat.Sat:
+				return "cex", cexFromModel(e.a, e.piNames, ws.cnf, model)
+			case sat.Unknown:
+				return "undecided", nil
+			case sat.Canceled:
+				return "timeout", nil
+			}
+		}
+		return "equal", nil
+	}
+
+	o.LearnedReused = s.NumLearned()
+	atomic.AddInt64(&e.clausesReused, int64(o.LearnedReused))
+	e.mClausesReused.Add(int64(o.LearnedReused))
+	e.mLearnedDB.Observe(int64(o.LearnedReused))
+	if e.classTrigger < 0 {
+		e.ensureClasses(ctx)
+	}
+	e.applyClasses(ws)
+
+	// Staged effort: probe under the class-trigger conflict cap first;
+	// only a probe that exhausts it invests in the one-time fraig class
+	// analysis, feeds the classes, and retries at the full budget.
+	limit := e.maxConf
+	staged := e.classes.Load() == nil && e.classTrigger > 0 && e.classTrigger < e.maxConf
+	if staged {
+		limit = e.classTrigger
+	}
 	for pass := 0; pass < 2; pass++ {
 		a1, a2 := l1, l2.Not()
 		if pass == 1 {
 			a1, a2 = l1.Not(), l2
 		}
-		verdict, model := ws.solver.SolveModelCtx(ctx, a1, a2)
-		o.SATCalls++
-		o.Conflicts += ws.solver.LastConflicts()
-		o.Decisions += ws.solver.LastDecisions()
-		e.mSATCalls.Add(1)
-		e.mSATConflicts.Add(ws.solver.LastConflicts())
-		e.mSATDecisions.Add(ws.solver.LastDecisions())
+		s.MaxConflicts = limit
+		verdict, model := s.SolveModelCtx(ctx, a1, a2)
 		switch verdict {
 		case sat.Sat:
 			return "cex", cexFromModel(e.a, e.piNames, ws.cnf, model)
 		case sat.Unknown:
+			if staged {
+				staged = false
+				limit = e.maxConf
+				e.ensureClasses(ctx)
+				e.applyClasses(ws)
+				pass--
+				continue
+			}
 			return "undecided", nil
 		case sat.Canceled:
 			return "timeout", nil
 		}
 	}
+	// Proven equal: later cones sharing either side now propagate
+	// through the equality instead of re-deriving it.
+	s.AddClause(l1.Not(), l2)
+	s.AddClause(l1, l2.Not())
 	return "equal", nil
+}
+
+// ensureClasses runs the analysis-only fraig sweep exactly once per
+// check and publishes the proven equivalence classes to all workers.
+// Concurrent callers block until the sweep finishes — a worker that
+// trips the trigger while another is already sweeping would only burn
+// more conflicts on a probe the classes are about to make easy.
+func (e *proveEnv) ensureClasses(ctx context.Context) {
+	e.classOnce.Do(func() {
+		fctx, fsp := obs.Start(ctx, "fraig.classes")
+		_, fst := aig.FraigExCtx(fctx, e.a, aig.FraigOptions{
+			Seed: e.classSeed, MaxConflicts: 1000, Workers: e.classWorkers,
+			RecordClasses: true,
+		})
+		if fsp != nil {
+			fsp.Gauge("fraig.classes", int64(len(fst.Classes)))
+		}
+		fsp.End()
+		e.fraigProveCalls = fst.ProveCalls
+		cls := fst.Classes
+		e.classes.Store(&cls)
+	})
+}
+
+// applyClasses feeds fraig-proven equivalence classes into the worker's
+// clause database. A pair is applied once both endpoints' nodes are
+// already in the worker's CNF (feeding never forces extra cone
+// encoding); constant classes need only their A side and become units.
+// A no-op until ensureClasses has published a class list.
+func (e *proveEnv) applyClasses(ws *workerState) {
+	ptr := e.classes.Load()
+	if ptr == nil {
+		return
+	}
+	classes := *ptr
+	if len(ws.classDone) != len(classes) {
+		ws.classDone = make([]bool, len(classes))
+	}
+	applied := 0
+	for k, p := range classes {
+		if ws.classDone[k] {
+			continue
+		}
+		va, ok := ws.cnf.VarOf[p.A.Node()]
+		if !ok {
+			continue
+		}
+		la := sat.MkLit(va, p.A.Compl())
+		if p.B.Node() == 0 {
+			// A is constant: B.Compl() distinguishes True from False.
+			u := la.Not()
+			if p.B.Compl() {
+				u = la
+			}
+			ws.solver.AddClause(u)
+		} else {
+			vb, ok := ws.cnf.VarOf[p.B.Node()]
+			if !ok {
+				continue
+			}
+			lb := sat.MkLit(vb, p.B.Compl())
+			ws.solver.AddClause(la.Not(), lb)
+			ws.solver.AddClause(la, lb.Not())
+		}
+		ws.classDone[k] = true
+		applied++
+	}
+	if applied > 0 {
+		atomic.AddInt64(&e.classesFed, int64(applied))
+	}
 }
 
 func recordPanic(st *Stats, mu *sync.Mutex, output string, r any) {

@@ -31,6 +31,29 @@ type Stats struct {
 	Conflicts       int64 `json:"conflicts"`
 	Decisions       int64 `json:"decisions"`
 
+	// SATMode is the solver-state policy of the SAT arm: "incremental"
+	// (one warm solver per worker, assumption probes over one clause
+	// database) or "fresh" (per-miter solver and encoding). Empty for
+	// the pure-BDD engine.
+	SATMode string `json:"sat_mode,omitempty"`
+	// ClausesReused totals, over all probes, the learned clauses already
+	// alive in the worker's database when the probe started — the
+	// cross-miter reuse the incremental mode exists for.
+	ClausesReused int64 `json:"clauses_reused"`
+	// VarsEncoded counts solver variables created by cone encoding; with
+	// encode-once reuse this stays near the shared-cone size instead of
+	// growing linearly with the output count.
+	VarsEncoded int64 `json:"vars_encoded"`
+	// DBReductions / ClausesDeleted account the solvers' learned-clause
+	// garbage collection across the run.
+	DBReductions   int64 `json:"db_reductions"`
+	ClausesDeleted int64 `json:"clauses_deleted"`
+	// FraigClasses / ClassesFed: internal equivalences recorded by the
+	// fraig analysis pass and how many were fed into worker clause
+	// databases as equality clauses (sat engine, incremental mode only).
+	FraigClasses int `json:"fraig_classes,omitempty"`
+	ClassesFed   int `json:"classes_fed,omitempty"`
+
 	// BudgetNS is the configured wall-clock budget (0: unbudgeted).
 	BudgetNS int64 `json:"budget_ns,omitempty"`
 	// Portfolio is the per-engine race accounting; set only by the
@@ -75,10 +98,13 @@ type OutputStats struct {
 	Status    string `json:"status"`
 	Engine    string `json:"engine,omitempty"` // engine that decided it ("sat" | "bdd")
 	SATCalls  int    `json:"sat_calls"`
-	Conflicts int64  `json:"conflicts"`
-	Decisions int64  `json:"decisions"`
-	TimeNS    int64  `json:"time_ns"`
-	Worker    int    `json:"worker"` // pool worker that proved this miter (-1: none)
+	Conflicts int64  `json:"conflicts"` // per-probe delta, not the solver's lifetime counter
+	Decisions int64  `json:"decisions"` // per-probe delta, not the solver's lifetime counter
+	// LearnedReused is the learned-clause count carried over from earlier
+	// miters and alive when this output's probe started (incremental mode).
+	LearnedReused int   `json:"learned_reused,omitempty"`
+	TimeNS        int64 `json:"time_ns"`
+	Worker        int   `json:"worker"` // pool worker that proved this miter (-1: none)
 }
 
 // String renders the summary block printed by `cmd/seqver -stats`.
@@ -94,6 +120,14 @@ func (s *Stats) String() string {
 	}
 	fmt.Fprintf(&b, "sat:         %d calls, %d conflicts, %d decisions\n",
 		s.SATCalls, s.Conflicts, s.Decisions)
+	if s.SATMode != "" {
+		fmt.Fprintf(&b, "sat mode:    %s (%d clauses reused, %d vars encoded, %d reductions)\n",
+			s.SATMode, s.ClausesReused, s.VarsEncoded, s.DBReductions)
+		if s.FraigClasses > 0 {
+			fmt.Fprintf(&b, "classes:     %d recorded, %d fed as equality clauses\n",
+				s.FraigClasses, s.ClassesFed)
+		}
+	}
 	if s.BudgetNS > 0 {
 		fmt.Fprintf(&b, "budget:      %v wall clock\n", time.Duration(s.BudgetNS))
 	}

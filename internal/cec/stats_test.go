@@ -27,6 +27,13 @@ func fullStats() *Stats {
 		SATCalls:         5,
 		Conflicts:        777,
 		Decisions:        1234,
+		SATMode:          "incremental",
+		ClausesReused:    321,
+		VarsEncoded:      654,
+		DBReductions:     2,
+		ClausesDeleted:   88,
+		FraigClasses:     7,
+		ClassesFed:       5,
 		BudgetNS:         2_000_000_000,
 		Portfolio: &PortfolioStats{
 			SATWins: 2, BDDWins: 1, SATTimeouts: 1, BDDTimeouts: 2, Unresolved: 1,
@@ -36,7 +43,7 @@ func fullStats() *Stats {
 		},
 		PerOutput: []OutputStats{
 			{Name: "o0", Status: "structural", SATCalls: 0, Worker: -1},
-			{Name: "o1", Status: "equal", Engine: "sat", SATCalls: 2, Conflicts: 500, Decisions: 900, TimeNS: 120_000, Worker: 0},
+			{Name: "o1", Status: "equal", Engine: "sat", SATCalls: 2, Conflicts: 500, Decisions: 900, LearnedReused: 42, TimeNS: 120_000, Worker: 0},
 			{Name: "o2", Status: "cex", Engine: "bdd", SATCalls: 1, Conflicts: 277, Decisions: 334, TimeNS: 80_000, Worker: 1},
 		},
 		WorkerBusyNS: []int64{150_000, 90_000, 0, 0},
@@ -81,6 +88,8 @@ outputs:     9 (6 structural)
 simulation:  8 rounds x 4 words (2048 patterns), 1 cex hits
 fraig:       120 -> 30 AND nodes, 45 merges (12 proofs)
 sat:         5 calls, 777 conflicts, 1234 decisions
+sat mode:    incremental (321 clauses reused, 654 vars encoded, 2 reductions)
+classes:     7 recorded, 5 fed as equality clauses
 budget:      2s wall clock
 portfolio:   sat 2 wins / 1 timeouts, bdd 1 wins / 2 timeouts, 1 unresolved
 panics:      1 recovered proofs (degraded to undecided)

@@ -97,6 +97,7 @@ const (
 type clause struct {
 	lits    []Lit
 	learned bool
+	deleted bool
 	act     float64
 }
 
@@ -120,20 +121,43 @@ type Solver struct {
 
 	activity []float64
 	varInc   float64
+	claInc   float64
 	order    *varHeap
 
 	seen      []bool
 	unsatisf  bool   // top-level conflict found during AddClause
 	lastModel []bool // snapshot of the most recent Sat assignment
+	core      []Lit  // failed-assumption core of the last Unsat call
+
+	numLearned int // live learned clauses (attached, not deleted)
+	numOrig    int // live original clauses
+	maxLearned float64
+	retired    int // Retract calls since the last purge of satisfied clauses
 
 	// Budget: conflicts allowed per Solve call; <= 0 means unlimited.
 	MaxConflicts int64
 	conflicts    int64
 	decisions    int64
 
+	// MaxLearned caps the live learned-clause database: when a Solve
+	// call's learned count exceeds it, the lowest-activity half is
+	// deleted (reason clauses and binaries are kept). 0 selects an
+	// adaptive cap that starts at max(4000, originals/3) and grows 10%
+	// per reduction, so clause reuse across incremental calls never
+	// degenerates into an unbounded database. Negative disables
+	// reduction entirely.
+	MaxLearned int
+
 	// Stats accumulates counters across the solver's lifetime.
 	Stats struct {
 		Decisions, Propagations, Conflicts, Learned, Restarts int64
+		// Reductions counts learned-database reduction passes; Deleted
+		// counts clauses dropped by reduction and by the purge of
+		// clauses satisfied at the top level (retracted groups).
+		Reductions, Deleted int64
+		// SolveCalls counts Solve invocations over the solver's
+		// lifetime, so incremental callers can bill per-probe deltas.
+		SolveCalls int64
 	}
 
 	// Progress, when non-nil, is invoked with the current call's
@@ -149,7 +173,7 @@ type Solver struct {
 // New returns a solver preallocated for nvars variables (more may be
 // created on demand by AddClause).
 func New(nvars int) *Solver {
-	s := &Solver{varInc: 1}
+	s := &Solver{varInc: 1, claInc: 1}
 	s.order = &varHeap{solver: s}
 	s.ensure(nvars)
 	return s
@@ -253,8 +277,21 @@ func (s *Solver) attach(c *clause) int {
 	s.clauses = append(s.clauses, c)
 	s.watches[c.lits[0].Not()] = append(s.watches[c.lits[0].Not()], watch{cref, c.lits[1]})
 	s.watches[c.lits[1].Not()] = append(s.watches[c.lits[1].Not()], watch{cref, c.lits[0]})
+	if c.learned {
+		s.numLearned++
+	} else {
+		s.numOrig++
+	}
 	return cref
 }
+
+// NumLearned returns the number of live learned clauses — the knowledge
+// an incremental caller reuses on its next Solve.
+func (s *Solver) NumLearned() int { return s.numLearned }
+
+// NumClauses returns the number of live clauses, original plus learned
+// (unit clauses live on the trail and are not counted).
+func (s *Solver) NumClauses() int { return s.numOrig + s.numLearned }
 
 func (s *Solver) decisionLevel() int32 { return int32(len(s.trailLm)) }
 
@@ -348,6 +385,21 @@ func (s *Solver) bumpVar(v int) {
 	s.order.update(v)
 }
 
+// bumpClause rewards a learned clause that took part in a conflict
+// derivation; reduceDB deletes from the cold end of this activity order.
+func (s *Solver) bumpClause(c *clause) {
+	if !c.learned {
+		return
+	}
+	c.act += s.claInc
+	if c.act > 1e20 {
+		for _, d := range s.clauses {
+			d.act *= 1e-20
+		}
+		s.claInc *= 1e-20
+	}
+}
+
 // analyze performs first-UIP conflict analysis, returning the learned
 // clause (asserting literal first) and the backjump level.
 func (s *Solver) analyze(confl int) ([]Lit, int32) {
@@ -360,6 +412,7 @@ func (s *Solver) analyze(confl int) ([]Lit, int32) {
 
 	for {
 		c := s.clauses[cref]
+		s.bumpClause(c)
 		start := 0
 		if p != -1 {
 			start = 1
@@ -458,6 +511,50 @@ func (s *Solver) redundant(l Lit, abstract uint32, toClear *[]int) bool {
 	return true
 }
 
+// analyzeFinal computes the failed-assumption core once assumption p
+// turned out false under the earlier assumptions: the subset of
+// assumption literals whose conjunction already contradicts the clause
+// set. It walks the implication graph from p's complement back to the
+// decisions of the assumption prefix (MiniSat's analyzeFinal).
+func (s *Solver) analyzeFinal(p Lit) []Lit {
+	core := []Lit{p}
+	if s.decisionLevel() == 0 || s.level[p.Var()] == 0 {
+		// p was refuted by top-level propagation alone: p is the
+		// entire core.
+		return core
+	}
+	s.seen[p.Var()] = true
+	for i := len(s.trail) - 1; i >= int(s.trailLm[0]); i-- {
+		v := s.trail[i].Var()
+		if !s.seen[v] {
+			continue
+		}
+		s.seen[v] = false
+		if s.reason[v] == -1 {
+			// A decision inside the assumption prefix is an earlier
+			// assumption (decisions proper only exist above the prefix,
+			// and solve detects assumption failure while extending it).
+			core = append(core, s.trail[i])
+			continue
+		}
+		for _, l := range s.clauses[s.reason[v]].lits[1:] {
+			if s.level[l.Var()] > 0 {
+				s.seen[l.Var()] = true
+			}
+		}
+	}
+	s.seen[p.Var()] = false
+	return core
+}
+
+// Core returns the failed-assumption core of the most recent Solve call
+// that returned Unsat under assumptions: a subset of the assumption
+// literals whose conjunction is already contradictory with the clause
+// set. It returns nil when the clause set is unsatisfiable on its own
+// (no assumptions needed) or when the last call did not return Unsat.
+// The slice is owned by the caller; a later Solve overwrites nothing.
+func (s *Solver) Core() []Lit { return s.core }
+
 func (s *Solver) cancelUntil(lv int32) {
 	if s.decisionLevel() <= lv {
 		return
@@ -473,6 +570,150 @@ func (s *Solver) cancelUntil(lv int32) {
 	s.trail = s.trail[:bound]
 	s.trailLm = s.trailLm[:lv]
 	s.qhead = len(s.trail)
+}
+
+// locked reports whether the clause is the antecedent of its first
+// literal's current assignment; such clauses must survive reduction.
+func (s *Solver) locked(cref int) bool {
+	c := s.clauses[cref]
+	l := c.lits[0]
+	return s.litValue(l) == lTrue && s.reason[l.Var()] == cref
+}
+
+// satisfiedAtTopLevel reports whether the clause holds a literal made
+// permanently true at decision level 0 — e.g. by a retracted activation
+// group. Such a clause can never propagate again and may be reclaimed.
+func (s *Solver) satisfiedAtTopLevel(c *clause) bool {
+	for _, l := range c.lits {
+		if s.litValue(l) == lTrue && s.level[l.Var()] == 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// releaseTopLevelReasons drops the antecedent references of top-level
+// assignments. Conflict analysis and core extraction skip level-0
+// literals, so these reasons are never dereferenced again — releasing
+// them unlocks their clauses for reclamation (a retracted activation
+// group whose guard propagated at the top level would otherwise stay
+// locked forever).
+func (s *Solver) releaseTopLevelReasons() {
+	end := len(s.trail)
+	if s.decisionLevel() > 0 {
+		end = int(s.trailLm[0])
+	}
+	for _, l := range s.trail[:end] {
+		s.reason[l.Var()] = -1
+	}
+}
+
+// purgeSatisfied reclaims clauses permanently satisfied at the top
+// level (retracted miter groups, units learned since). Called between
+// Solve calls, not in the search loop.
+func (s *Solver) purgeSatisfied() {
+	s.releaseTopLevelReasons()
+	any := false
+	for cref, c := range s.clauses {
+		if !s.locked(cref) && s.satisfiedAtTopLevel(c) {
+			c.deleted = true
+			any = true
+		}
+	}
+	if any {
+		s.compact()
+	}
+}
+
+// reduceDB halves the learned-clause database, keeping the hot half by
+// clause activity plus everything a CDCL invariant needs: antecedents
+// of current assignments and binary clauses. Top-level-satisfied
+// clauses are reclaimed regardless of activity.
+func (s *Solver) reduceDB() {
+	s.releaseTopLevelReasons()
+	var cand []int
+	for cref, c := range s.clauses {
+		if s.locked(cref) {
+			continue
+		}
+		if s.satisfiedAtTopLevel(c) {
+			c.deleted = true
+			continue
+		}
+		if c.learned && len(c.lits) > 2 {
+			cand = append(cand, cref)
+		}
+	}
+	// Stable sort with the cref order as tie-break keeps the reduction
+	// deterministic for identical call sequences.
+	sort.SliceStable(cand, func(i, j int) bool {
+		return s.clauses[cand[i]].act < s.clauses[cand[j]].act
+	})
+	for _, cref := range cand[:len(cand)/2] {
+		s.clauses[cref].deleted = true
+	}
+	s.compact()
+	s.Stats.Reductions++
+}
+
+// compact removes deleted clauses, remapping the clause references held
+// by assignment reasons and rebuilding the watch lists. Watches are
+// always on lits[0] and lits[1] (attach establishes it, propagate
+// preserves it by swapping within the clause), so reattaching those two
+// literals reproduces the exact watch state.
+func (s *Solver) compact() {
+	remap := make([]int, len(s.clauses))
+	kept := 0
+	for cref, c := range s.clauses {
+		if c.deleted {
+			remap[cref] = -1
+			if c.learned {
+				s.numLearned--
+			} else {
+				s.numOrig--
+			}
+			s.Stats.Deleted++
+			continue
+		}
+		remap[cref] = kept
+		s.clauses[kept] = c
+		kept++
+	}
+	s.clauses = s.clauses[:kept]
+	for _, l := range s.trail {
+		v := l.Var()
+		if r := s.reason[v]; r >= 0 {
+			// Locked clauses are never deleted, so the remap is total
+			// over live reasons.
+			s.reason[v] = remap[r]
+		}
+	}
+	for i := range s.watches {
+		s.watches[i] = s.watches[i][:0]
+	}
+	for cref, c := range s.clauses {
+		s.watches[c.lits[0].Not()] = append(s.watches[c.lits[0].Not()], watch{cref, c.lits[1]})
+		s.watches[c.lits[1].Not()] = append(s.watches[c.lits[1].Not()], watch{cref, c.lits[0]})
+	}
+}
+
+// learnedCap returns the current learned-database cap, or a negative
+// value when reduction is disabled.
+func (s *Solver) learnedCap() float64 {
+	if s.MaxLearned > 0 {
+		return float64(s.MaxLearned)
+	}
+	if s.MaxLearned < 0 {
+		return -1
+	}
+	if s.maxLearned == 0 {
+		base := s.numOrig / 3
+		if base < 4000 {
+			base = 4000
+		}
+		s.maxLearned = float64(base)
+	}
+	return s.maxLearned
 }
 
 func (s *Solver) pickBranch() Lit {
@@ -509,11 +750,20 @@ const ctxPollInterval = 128
 // On Sat, Model reports variable values. On Unknown the conflict budget
 // was exhausted; on Canceled the context fired first.
 func (s *Solver) solve(ctx context.Context, assumptions ...Lit) Status {
+	s.core = nil
+	s.Stats.SolveCalls++
 	if s.unsatisf {
 		return Unsat
 	}
 	if ctx != nil && ctx.Err() != nil {
 		return Canceled
+	}
+	if s.retired >= 64 {
+		// Enough groups were retracted since the last purge to make a
+		// database sweep worthwhile; between calls the trail is at the
+		// top level, so the purge sees the final retraction units.
+		s.purgeSatisfied()
+		s.retired = 0
 	}
 	s.conflicts = 0
 	s.decisions = 0
@@ -555,6 +805,15 @@ func (s *Solver) solve(ctx context.Context, assumptions ...Lit) Status {
 				s.enqueue(learned[0], cref)
 			}
 			s.varInc /= 0.95
+			s.claInc /= 0.999
+			if cap := s.learnedCap(); cap > 0 && float64(s.numLearned) > cap {
+				// The just-learned clause is the reason of its asserting
+				// literal, so it is locked and survives the reduction.
+				s.reduceDB()
+				if s.MaxLearned == 0 {
+					s.maxLearned *= 1.1
+				}
+			}
 			if s.MaxConflicts > 0 && s.conflicts >= s.MaxConflicts {
 				return Unknown
 			}
@@ -575,6 +834,9 @@ func (s *Solver) solve(ctx context.Context, assumptions ...Lit) Status {
 				// level↔assumption correspondence.
 				s.trailLm = append(s.trailLm, int32(len(s.trail)))
 			case lFalse:
+				// The clause set refutes this assumption under the
+				// earlier ones: extract which assumptions conspired.
+				s.core = s.analyzeFinal(a)
 				return Unsat
 			default:
 				s.trailLm = append(s.trailLm, int32(len(s.trail)))
@@ -605,6 +867,35 @@ func (s *Solver) solve(ctx context.Context, assumptions ...Lit) Status {
 		s.trailLm = append(s.trailLm, int32(len(s.trail)))
 		s.enqueue(l, -1)
 	}
+}
+
+// NewActivation returns a fresh activation literal for a retractable
+// clause group: clauses added through AddGuarded(act, ...) are enforced
+// only by Solve calls that assume act, and Retract(act) disables the
+// group permanently. This is the MiniSat selector-variable idiom that
+// lets an incremental caller pose temporary constraints (one output
+// miter, say) over a persistent clause database without poisoning
+// later calls.
+func (s *Solver) NewActivation() Lit { return MkLit(s.NewVar(), false) }
+
+// AddGuarded adds a clause guarded by the activation literal act: the
+// disjunction of lits is enforced exactly in Solve calls assuming act.
+func (s *Solver) AddGuarded(act Lit, lits ...Lit) bool {
+	g := make([]Lit, 0, len(lits)+1)
+	g = append(g, lits...)
+	g = append(g, act.Not())
+	return s.AddClause(g...)
+}
+
+// Retract permanently disables the clause group guarded by act by
+// asserting its complement at the top level. The group's clauses — and
+// any learned clause mentioning ¬act — become forever satisfied; the
+// next database reduction reclaims them, and every 64th retraction
+// schedules a purge on the following Solve call so a long run of
+// retractable probes cannot accrete dead clauses.
+func (s *Solver) Retract(act Lit) bool {
+	s.retired++
+	return s.AddClause(act.Not())
 }
 
 // Solve decides satisfiability under the given assumptions.
