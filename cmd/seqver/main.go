@@ -36,6 +36,15 @@
 // schema-valid trace (cmd/tracelint accepts it) of the run's last
 // moments, the post-mortem for "why did this output time out".
 //
+// -submit URL runs the same check on a seqverd daemon instead of in
+// process: both BLIF files are posted as one job, the verdict is polled
+// and printed, and the exit code contract below is preserved (a repeat
+// submission of an already-decided pair is answered from the daemon's
+// result cache). The engine flags (-engine, -sat-mode, -budget,
+// -workers, -max-conflicts, -acyclic, -rewrite, -unate) travel with the
+// job; local-only flags (-trace, -progress, profiling) are ignored in
+// submit mode.
+//
 // Exit codes: 0 the circuits are equivalent; 1 they are inequivalent
 // (a counterexample was found); 2 the verdict is undecided (resource
 // budget exhausted — rerun with a larger -budget or -max-conflicts);
@@ -56,6 +65,7 @@ import (
 	"seqver"
 	"seqver/internal/metrics"
 	"seqver/internal/obs"
+	"seqver/internal/serve"
 )
 
 func main() { os.Exit(run()) }
@@ -83,11 +93,22 @@ func run() int {
 	flight := flag.Bool("flight", true, "flight recorder: ring-buffer the trace; dump it on undecided, error, or recovered panic")
 	flightEvents := flag.Int("flight-events", obs.DefaultRingSize, "flight recorder capacity in events")
 	flightDir := flag.String("flight-dir", ".", "directory for flight-recorder dumps")
+	submit := flag.String("submit", "", "submit the job to a seqverd daemon at URL instead of checking in process")
 	flag.Parse()
 	if flag.NArg() != 2 {
 		fmt.Fprintln(os.Stderr, "usage: seqver [flags] golden.blif revised.blif")
 		flag.PrintDefaults()
 		return 3
+	}
+
+	if *submit != "" {
+		return submitRemote(*submit, flag.Arg(0), flag.Arg(1), &serve.JobRequest{
+			Engine: *engine, SATMode: *satMode,
+			BudgetMS:     budget.Milliseconds(),
+			Workers:      *workers,
+			MaxConflicts: *maxConflicts,
+			Acyclic:      *acyclic, Rewrite: *rewrite, Unate: *unateAware,
+		})
 	}
 
 	if *cpuProfile != "" {
@@ -398,6 +419,68 @@ func b2i(b bool) int {
 		return 1
 	}
 	return 0
+}
+
+// submitRemote runs the check on a seqverd daemon: read both BLIF
+// files, post them as one job, poll to the verdict, and print it in the
+// same shape as a local run. Network and daemon failures are exit 3,
+// like any other input error; verdicts keep the 0/1/2 contract.
+func submitRemote(base, goldenPath, revisedPath string, req *serve.JobRequest) int {
+	golden, err := os.ReadFile(goldenPath)
+	if err != nil {
+		return fail(err)
+	}
+	revised, err := os.ReadFile(revisedPath)
+	if err != nil {
+		return fail(err)
+	}
+	req.Golden = serve.SideSpec{BLIF: string(golden)}
+	req.Revised = serve.SideSpec{BLIF: string(revised)}
+
+	ctx := context.Background()
+	client := &serve.Client{Base: base}
+	view, err := client.Submit(ctx, req)
+	if err != nil {
+		return fail(err)
+	}
+	fmt.Fprintf(os.Stderr, "seqver: submitted %s to %s\n", view.ID, base)
+	view, err = client.Wait(ctx, view.ID)
+	if err != nil {
+		return fail(err)
+	}
+	switch view.Status {
+	case serve.StatusFailed:
+		return fail(fmt.Errorf("job %s failed: %s", view.ID, view.Error))
+	case serve.StatusRejected:
+		return fail(fmt.Errorf("job %s rejected: %s", view.ID, view.Error))
+	}
+	res := view.Result
+	if res == nil {
+		return fail(fmt.Errorf("job %s finished without a result", view.ID))
+	}
+	from := "solved"
+	if res.Cached {
+		from = "result cache"
+	}
+	tag := ""
+	if res.Conservative {
+		tag = " (conservative: inequivalence may be a false negative)"
+	}
+	fmt.Printf("method:   %s%s\n", res.Method, tag)
+	fmt.Printf("depth:    %d\n", res.Depth)
+	fmt.Printf("verdict:  %s  (%v, %d SAT calls, %s)\n",
+		res.Verdict, time.Duration(res.ElapsedNS).Round(1e6), res.SATCalls, from)
+	if res.FailingOutput != "" {
+		fmt.Printf("failing output: %s\n", res.FailingOutput)
+		fmt.Println("counterexample (unrolled input window):")
+		for k, v := range res.Counterexample {
+			fmt.Printf("  %s = %v\n", k, b2i(v))
+		}
+	}
+	for _, name := range res.UndecidedOutputs {
+		fmt.Printf("undecided output: %s\n", name)
+	}
+	return res.ExitCode
 }
 
 func load(path string) (*seqver.Circuit, error) {

@@ -1,0 +1,113 @@
+// Command seqverd is the verification daemon: a long-running service
+// that accepts sequential-equivalence jobs over HTTP, runs them on a
+// bounded worker pool, and answers repeat submissions from a
+// content-addressed result cache keyed by the prepared miter's
+// structural hash. docs/API.md documents the wire protocol.
+//
+// Usage:
+//
+//	seqverd [-addr :7333] [-pool N] [-queue N]
+//	        [-default-budget DUR] [-max-budget DUR]
+//	        [-cache-bytes N] [-cache-dir DIR]
+//	        [-drain-timeout DUR] [-trace-bytes N] [-max-body N]
+//
+// The API lives under /api/v1 (submit POST /api/v1/jobs, poll
+// GET /api/v1/jobs/{id}, stream GET /api/v1/jobs/{id}/events); the same
+// listener also serves the debug surface — Prometheus /metrics
+// (including seqver_cache_{hits,misses,evictions}_total), /healthz,
+// /debug/vars, and /debug/pprof.
+//
+// On SIGTERM or SIGINT the daemon drains: new submissions get 503 +
+// Retry-After, jobs still queued finish as "rejected", and in-flight
+// jobs get -drain-timeout to complete before their budgets are cut
+// (degrading verdicts to undecided, never to a wrong answer). A second
+// signal exits immediately.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"seqver/internal/serve"
+)
+
+func main() { os.Exit(run()) }
+
+func run() int {
+	addr := flag.String("addr", ":7333", "HTTP listen address")
+	pool := flag.Int("pool", 2, "verification worker pool size (jobs solved concurrently)")
+	queue := flag.Int("queue", 64, "queued-job bound; a full queue answers 503")
+	defaultBudget := flag.Duration("default-budget", 30*time.Second, "per-job wall-clock budget when the request omits budget_ms")
+	maxBudget := flag.Duration("max-budget", 5*time.Minute, "hard cap on a requested per-job budget")
+	cacheBytes := flag.Int64("cache-bytes", 64<<20, "in-memory result cache budget in bytes")
+	cacheDir := flag.String("cache-dir", "", "persist cache entries to DIR (survives restarts; empty: memory only)")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "time in-flight jobs get to finish after SIGTERM")
+	traceBytes := flag.Int("trace-bytes", 4<<20, "per-job buffered trace cap in bytes")
+	maxBody := flag.Int64("max-body", 8<<20, "maximum submission body size in bytes")
+	flag.Parse()
+	if flag.NArg() != 0 {
+		fmt.Fprintln(os.Stderr, "usage: seqverd [flags]")
+		flag.PrintDefaults()
+		return 3
+	}
+
+	s, err := serve.New(serve.Options{
+		Workers:       *pool,
+		QueueDepth:    *queue,
+		DefaultBudget: *defaultBudget,
+		MaxBudget:     *maxBudget,
+		CacheBytes:    *cacheBytes,
+		CacheDir:      *cacheDir,
+		TraceBytes:    *traceBytes,
+		MaxBodyBytes:  *maxBody,
+	})
+	if err != nil {
+		return fail(err)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return fail(err)
+	}
+	httpSrv := &http.Server{Handler: s.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+	fmt.Fprintf(os.Stderr, "seqverd: listening on http://%s (API /api/v1, debug /metrics /healthz /debug/pprof)\n",
+		ln.Addr())
+
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT)
+	select {
+	case err := <-errc:
+		return fail(err)
+	case sig := <-sigc:
+		fmt.Fprintf(os.Stderr, "seqverd: %v: draining (up to %v for in-flight jobs; signal again to force exit)\n",
+			sig, *drainTimeout)
+	}
+	go func() {
+		<-sigc
+		fmt.Fprintln(os.Stderr, "seqverd: forced exit")
+		os.Exit(1)
+	}()
+
+	s.Drain(*drainTimeout)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		fmt.Fprintln(os.Stderr, "seqverd: shutdown:", err)
+	}
+	fmt.Fprintln(os.Stderr, "seqverd: drained")
+	return 0
+}
+
+func fail(err error) int {
+	fmt.Fprintln(os.Stderr, "seqverd:", err)
+	return 3
+}

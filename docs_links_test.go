@@ -1,0 +1,60 @@
+package seqver_test
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// mdLink matches inline markdown links/images; the destination is
+// group 1.
+var mdLink = regexp.MustCompile(`!?\[[^\]]*\]\(([^)\s]+)(?:\s+"[^"]*")?\)`)
+
+// TestDocsRelativeLinksResolve walks the repo's documentation and
+// asserts every relative link points at a file that exists, so a doc
+// rename or move cannot silently strand readers. CI runs it in the
+// docs-links step.
+func TestDocsRelativeLinksResolve(t *testing.T) {
+	var docs []string
+	for _, top := range []string{"README.md", "DESIGN.md", "EXPERIMENTS.md", "ROADMAP.md", "CHANGES.md"} {
+		if _, err := os.Stat(top); err == nil {
+			docs = append(docs, top)
+		}
+	}
+	more, err := filepath.Glob("docs/*.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	docs = append(docs, more...)
+	if len(docs) < 3 {
+		t.Fatalf("found only %v — doc scan is miswired", docs)
+	}
+
+	checked := 0
+	for _, doc := range docs {
+		data, err := os.ReadFile(doc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range mdLink.FindAllStringSubmatch(string(data), -1) {
+			dest := m[1]
+			if strings.Contains(dest, "://") || strings.HasPrefix(dest, "mailto:") {
+				continue // external
+			}
+			dest, _, _ = strings.Cut(dest, "#")
+			if dest == "" {
+				continue // same-file fragment
+			}
+			target := filepath.Join(filepath.Dir(doc), dest)
+			if _, err := os.Stat(target); err != nil {
+				t.Errorf("%s: broken relative link %q (resolved %s): %v", doc, m[1], target, err)
+			}
+			checked++
+		}
+	}
+	if checked == 0 {
+		t.Error("no relative links found at all — the README/docs cross-links are gone or the regexp broke")
+	}
+}

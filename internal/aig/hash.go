@@ -1,0 +1,156 @@
+package aig
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// This file implements the canonical structural hash that content-
+// addresses an AIG: two circuits that unroll to structurally identical
+// miters map to the same 128-bit digest regardless of how the source
+// files named internal signals or ordered their declarations, and any
+// single-gate change anywhere in an output cone changes the digest.
+// The verification daemon (internal/serve) keys its result cache on
+// this hash — a repeated submission of the same pair costs one hash
+// and one lookup instead of a SAT run.
+//
+// Canonicalization contract:
+//
+//   - Node indices never enter the hash. Every node's digest is a pure
+//     function of its fanin digests, so two AIGs built by adding the
+//     same gates in different topological orders collide exactly.
+//   - AND fanins are treated as an unordered pair (the two edge digests
+//     are sorted before mixing), because the structural-hashing
+//     constructor normalizes fanin order by node index — an artifact of
+//     construction order, not of structure.
+//   - Primary inputs hash by NAME, not position: the equivalence
+//     checker aligns inputs by name, so the name is semantic. Permuting
+//     .inputs declarations does not move the hash; renaming an input
+//     does.
+//   - Primary outputs fold in sorted (name, digest) order, so output
+//     declaration order is immaterial while the output names and their
+//     functions are not.
+//   - Nodes unreachable from every output do not contribute: dead gates
+//     left behind by a sweep cannot split the cache.
+//
+// The digest is two independent 64-bit splitmix lanes (128 bits total).
+// A cache collision requires both lanes to collide simultaneously,
+// which at our circuit scales (≤ 10^7 distinct miters) has probability
+// well under 2^-90 — negligible next to cosmic-ray soft error rates.
+
+// mix64 is the splitmix64 finalizer: a fast, well-distributed 64-bit
+// permutation used as the hash's mixing primitive.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// h128 is one node digest: two independently seeded 64-bit lanes.
+type h128 struct{ lo, hi uint64 }
+
+// less orders digests lexicographically (lo lane first) — the total
+// order used to sort unordered fanin pairs.
+func (a h128) less(b h128) bool {
+	if a.lo != b.lo {
+		return a.lo < b.lo
+	}
+	return a.hi < b.hi
+}
+
+// Per-lane seeds; arbitrary odd constants, fixed forever (the golden
+// hash test pins the resulting digests).
+const (
+	seedLo uint64 = 0x9e3779b97f4a7c15
+	seedHi uint64 = 0xc2b2ae3d27d4eb4f
+	// complMix separates an edge from its complement.
+	complLo uint64 = 0xff51afd7ed558ccd
+	complHi uint64 = 0xc4ceb9fe1a85ec53
+)
+
+// hashName digests a string into both lanes (FNV-1a style folds with
+// lane-distinct offsets, finalized by mix64).
+func hashName(s string) h128 {
+	lo, hi := seedLo, seedHi
+	for i := 0; i < len(s); i++ {
+		lo = (lo ^ uint64(s[i])) * 0x100000001b3
+		hi = (hi ^ uint64(s[i])) * 0x1000193
+	}
+	return h128{mix64(lo), mix64(hi)}
+}
+
+// edgeHash digests an edge: the node digest, permuted when the edge is
+// complemented (a full re-mix, not an xor, so complementation cannot
+// cancel algebraically against the pair combiner).
+func edgeHash(h h128, compl bool) h128 {
+	if !compl {
+		return h
+	}
+	return h128{mix64(h.lo ^ complLo), mix64(h.hi ^ complHi)}
+}
+
+// combinePair digests an unordered pair of edge digests: sort, then mix
+// with distinct multipliers per position so (a,b) and (b,a) collide
+// while (a,b) and (a',b') do not.
+func combinePair(x, y h128) h128 {
+	if y.less(x) {
+		x, y = y, x
+	}
+	return h128{
+		mix64(x.lo*3 + mix64(y.lo*5+seedLo)),
+		mix64(x.hi*3 + mix64(y.hi*5+seedHi)),
+	}
+}
+
+// StructuralHash returns the canonical content address of the AIG's
+// output cones as 32 hex digits. See the file comment for the exact
+// invariances; the short version is that the hash depends on the
+// circuit's structure and its input/output names, and on nothing else
+// (not node numbering, not declaration order, not dead logic).
+func (a *AIG) StructuralHash() string {
+	h := make([]h128, a.NumNodes())
+	h[0] = h128{mix64(seedLo), mix64(seedHi)} // constant-FALSE node
+	for i := 0; i < a.numPIs; i++ {
+		h[i+1] = hashName(a.piNames[i])
+	}
+	// Nodes are stored topologically (fanins precede users), so one
+	// forward sweep digests every AND node.
+	for n := a.numPIs + 1; n < a.NumNodes(); n++ {
+		f0, f1 := a.fanin0[n], a.fanin1[n]
+		h[n] = combinePair(
+			edgeHash(h[f0.Node()], f0.Compl()),
+			edgeHash(h[f1.Node()], f1.Compl()),
+		)
+	}
+	// Fold outputs in sorted (name, digest) order so PO declaration
+	// order is immaterial. Duplicate names with different functions
+	// still both contribute (sorted by digest as the tiebreak).
+	type poDigest struct {
+		name string
+		d    h128
+	}
+	pos := make([]poDigest, len(a.pos))
+	for i, p := range a.pos {
+		pos[i] = poDigest{a.poNames[i], edgeHash(h[p.Node()], p.Compl())}
+	}
+	sort.Slice(pos, func(i, j int) bool {
+		if pos[i].name != pos[j].name {
+			return pos[i].name < pos[j].name
+		}
+		return pos[i].d.less(pos[j].d)
+	})
+	acc := h128{mix64(uint64(len(pos)) + seedLo), mix64(uint64(len(pos)) + seedHi)}
+	for _, p := range pos {
+		nm := hashName(p.name)
+		acc.lo = mix64(acc.lo*7 + mix64(nm.lo+p.d.lo*11))
+		acc.hi = mix64(acc.hi*7 + mix64(nm.hi+p.d.hi*11))
+	}
+	var buf [16]byte
+	binary.BigEndian.PutUint64(buf[0:8], acc.hi)
+	binary.BigEndian.PutUint64(buf[8:16], acc.lo)
+	return fmt.Sprintf("%x", buf)
+}

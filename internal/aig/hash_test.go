@@ -1,0 +1,126 @@
+package aig
+
+import "testing"
+
+// buildCone returns an AIG computing f = (x & y) & !z and g = x | z,
+// constructed with the given PI declaration order, AND construction
+// order, and PO registration order. All variants are structurally
+// identical, so StructuralHash must not see the difference.
+func buildCone(t *testing.T, piOrder []string, andsReversed, posReversed bool) *AIG {
+	t.Helper()
+	a := New(piOrder)
+	lit := map[string]Lit{}
+	for i, name := range piOrder {
+		lit[name] = a.PI(i)
+	}
+	var f, g Lit
+	build := func() {
+		f = a.And(a.And(lit["x"], lit["y"]), lit["z"].Not())
+	}
+	build2 := func() {
+		g = a.Or(lit["x"], lit["z"])
+	}
+	if andsReversed {
+		build2()
+		build()
+	} else {
+		build()
+		build2()
+	}
+	if posReversed {
+		a.AddPO("g", g)
+		a.AddPO("f", f)
+	} else {
+		a.AddPO("f", f)
+		a.AddPO("g", g)
+	}
+	return a
+}
+
+func TestStructuralHashInvariance(t *testing.T) {
+	base := buildCone(t, []string{"x", "y", "z"}, false, false).StructuralHash()
+	if len(base) != 32 {
+		t.Fatalf("hash %q: want 32 hex chars", base)
+	}
+	variants := []*AIG{
+		buildCone(t, []string{"z", "y", "x"}, false, false), // PI order
+		buildCone(t, []string{"x", "y", "z"}, true, false),  // construction order
+		buildCone(t, []string{"x", "y", "z"}, false, true),  // PO order
+		buildCone(t, []string{"y", "z", "x"}, true, true),   // all at once
+	}
+	for i, v := range variants {
+		if got := v.StructuralHash(); got != base {
+			t.Errorf("variant %d: hash %s != base %s for identical structure", i, got, base)
+		}
+	}
+}
+
+func TestStructuralHashUnorderedFanins(t *testing.T) {
+	// And(x,y) and And(y,x) are the same node; with structural hashing
+	// off the table (separate graphs), the digest must still agree.
+	a1 := New([]string{"x", "y"})
+	a1.AddPO("f", a1.And(a1.PI(0), a1.PI(1)))
+	a2 := New([]string{"x", "y"})
+	a2.AddPO("f", a2.And(a2.PI(1), a2.PI(0)))
+	if a1.StructuralHash() != a2.StructuralHash() {
+		t.Error("And(x,y) and And(y,x) hash differently")
+	}
+}
+
+func TestStructuralHashDeadLogicInvariance(t *testing.T) {
+	a1 := New([]string{"x", "y"})
+	a1.AddPO("f", a1.And(a1.PI(0), a1.PI(1)))
+	a2 := New([]string{"x", "y"})
+	a2.And(a2.PI(0).Not(), a2.PI(1)) // dead: reaches no PO
+	a2.AddPO("f", a2.And(a2.PI(0), a2.PI(1)))
+	if a1.StructuralHash() != a2.StructuralHash() {
+		t.Error("unreferenced logic changed the hash")
+	}
+}
+
+func TestStructuralHashSensitivity(t *testing.T) {
+	base := buildCone(t, []string{"x", "y", "z"}, false, false)
+	// One complement edge flipped.
+	mut := New([]string{"x", "y", "z"})
+	f := mut.And(mut.And(mut.PI(0), mut.PI(1)), mut.PI(2)) // z instead of !z
+	mut.AddPO("f", f)
+	mut.AddPO("g", mut.Or(mut.PI(0), mut.PI(2)))
+	if base.StructuralHash() == mut.StructuralHash() {
+		t.Error("complement-edge mutation did not change the hash")
+	}
+	// Same structure, renamed PO.
+	ren := buildCone(t, []string{"x", "y", "z"}, false, false)
+	ren.poNames[0] = "f2"
+	if base.StructuralHash() == ren.StructuralHash() {
+		t.Error("PO rename did not change the hash")
+	}
+	// Same structure, renamed PI (the cone reads a different input).
+	rpi := buildCone(t, []string{"x2", "y", "z"}, false, false)
+	if base.StructuralHash() == rpi.StructuralHash() {
+		t.Error("PI rename did not change the hash")
+	}
+	// PO negation.
+	neg := buildCone(t, []string{"x", "y", "z"}, false, false)
+	neg.SetPO(0, neg.PO(0).Not())
+	if base.StructuralHash() == neg.StructuralHash() {
+		t.Error("PO complement did not change the hash")
+	}
+}
+
+func TestStructuralHashConstsAndEmpty(t *testing.T) {
+	e1 := New(nil)
+	e2 := New(nil)
+	if e1.StructuralHash() != e2.StructuralHash() {
+		t.Error("empty AIGs hash differently")
+	}
+	c0 := New(nil)
+	c0.AddPO("f", False)
+	c1 := New(nil)
+	c1.AddPO("f", True)
+	if c0.StructuralHash() == c1.StructuralHash() {
+		t.Error("const-0 and const-1 POs hash equal")
+	}
+	if c0.StructuralHash() == e1.StructuralHash() {
+		t.Error("const PO and empty AIG hash equal")
+	}
+}

@@ -153,44 +153,133 @@ func VerifyAcyclicCtx(ctx context.Context, c1, c2 *netlist.Circuit, opt Options)
 	start := time.Now()
 	ctx, sp := obs.Start(ctx, "verify")
 	defer sp.End()
-	rep := &Report{}
-	var u1, u2 *netlist.Circuit
-	var err error
-	if c1.IsRegular() && c2.IsRegular() {
-		rep.Method = "cbf"
-		if u1, err = cbf.UnrollCtx(ctx, c1); err != nil {
-			return nil, err
-		}
-		if u2, err = cbf.UnrollCtx(ctx, c2); err != nil {
-			return nil, err
-		}
-		if rep.Depth, err = cbf.SequentialDepth(c1); err != nil {
-			return nil, err
-		}
-	} else {
-		rep.Method = "edbf"
-		rep.Conservative = true
-		cx := edbf.NewCtx()
-		cx.Rewrite = opt.Rewrite
-		if u1, err = cx.UnrollCtx(ctx, c1); err != nil {
-			return nil, err
-		}
-		if u2, err = cx.UnrollCtx(ctx, c2); err != nil {
-			return nil, err
-		}
-	}
-	if sp != nil {
-		sp.Event("unrolled", obs.S("method", rep.Method),
-			obs.I("gates1", int64(u1.NumGates())), obs.I("gates2", int64(u2.NumGates())))
-	}
-	rep.UnrolledGates = [2]int{u1.NumGates(), u2.NumGates()}
-	res, err := cec.CheckCtx(ctx, u1, u2, opt.CEC)
+	u, err := UnrollAcyclicCtx(ctx, c1, c2, opt.Rewrite)
 	if err != nil {
 		return nil, err
 	}
+	res, err := u.CheckCtx(ctx, opt.CEC)
+	if err != nil {
+		return nil, err
+	}
+	rep := u.report()
 	rep.Result = res
 	rep.Elapsed = time.Since(start)
 	return rep, nil
+}
+
+// Unrolled is the combinational reduction of a verification pair: the
+// CBF or EDBF unrollings of both circuits, ready for the equivalence
+// checker. It is the seam between "what problem is this" and "decide
+// it" — the verification daemon hashes U1/U2 (cec.MiterHash) to key its
+// result cache before spending any solver time.
+type Unrolled struct {
+	// U1, U2 are the combinational unrollings, name-aligned for cec.
+	U1, U2 *netlist.Circuit
+	// Method is "cbf" (regular latches, complete) or "edbf"
+	// (load-enabled latches, conservative).
+	Method string
+	// Depth is the sequential depth of the first circuit (CBF only).
+	Depth int
+	// Conservative is set on the EDBF path: an Inequivalent verdict may
+	// be a false negative.
+	Conservative bool
+	// UnrolledGates counts the gates of the two unrollings (the
+	// Figure 18 replication cost).
+	UnrolledGates [2]int
+}
+
+// report seeds a Report with the unrolling's metadata.
+func (u *Unrolled) report() *Report {
+	return &Report{Method: u.Method, Depth: u.Depth,
+		UnrolledGates: u.UnrolledGates, Conservative: u.Conservative}
+}
+
+// CheckCtx discharges the reduction with the combinational checker.
+func (u *Unrolled) CheckCtx(ctx context.Context, opt cec.Options) (*cec.Result, error) {
+	return cec.CheckCtx(ctx, u.U1, u.U2, opt)
+}
+
+// UnrollAcyclicCtx reduces an acyclic pair to combinational form
+// without deciding it: the CBF path for regular-latch circuits
+// (Theorem 5.1, exact) or the EDBF path when load-enabled latches are
+// present (Theorem 5.2, conservative). Both circuits must already
+// satisfy the feedback constraint.
+func UnrollAcyclicCtx(ctx context.Context, c1, c2 *netlist.Circuit, rewrite bool) (*Unrolled, error) {
+	u := &Unrolled{}
+	var err error
+	if c1.IsRegular() && c2.IsRegular() {
+		u.Method = "cbf"
+		if u.U1, err = cbf.UnrollCtx(ctx, c1); err != nil {
+			return nil, err
+		}
+		if u.U2, err = cbf.UnrollCtx(ctx, c2); err != nil {
+			return nil, err
+		}
+		if u.Depth, err = cbf.SequentialDepth(c1); err != nil {
+			return nil, err
+		}
+	} else {
+		u.Method = "edbf"
+		u.Conservative = true
+		cx := edbf.NewCtx()
+		cx.Rewrite = rewrite
+		if u.U1, err = cx.UnrollCtx(ctx, c1); err != nil {
+			return nil, err
+		}
+		if u.U2, err = cx.UnrollCtx(ctx, c2); err != nil {
+			return nil, err
+		}
+	}
+	if sp := obs.CurrentSpan(ctx); sp != nil {
+		sp.Event("unrolled", obs.S("method", u.Method),
+			obs.I("gates1", int64(u.U1.NumGates())), obs.I("gates2", int64(u.U2.NumGates())))
+	}
+	u.UnrolledGates = [2]int{u.U1.NumGates(), u.U2.NumGates()}
+	return u, nil
+}
+
+// MatchExposure exposes the named latches in c, mirroring an exposure
+// already applied to the other side of a comparison, and verifies the
+// result is acyclic. It is the second half of Verify's preparation.
+func MatchExposure(c *netlist.Circuit, exposed []string) (*netlist.Circuit, error) {
+	var ids []int
+	for _, name := range exposed {
+		id := c.Lookup(name)
+		if id < 0 || c.Nodes[id].Kind != netlist.KindLatch {
+			return nil, fmt.Errorf("core: latch %q exposed in first circuit is missing in second", name)
+		}
+		ids = append(ids, id)
+	}
+	b, err := feedback.Expose(c, ids)
+	if err != nil {
+		return nil, err
+	}
+	b = netlist.Sweep(b, false)
+	if err := cbf.CheckAcyclic(b); err != nil {
+		return nil, fmt.Errorf("core: second circuit still cyclic after matching exposure: %w", err)
+	}
+	return b, nil
+}
+
+// UnrollPairCtx runs the full reduction for two arbitrary sequential
+// circuits: prepare the first (expose a feedback vertex set), mirror
+// the exposure onto the second by latch name, and unroll both. The
+// returned Unrolled is the cacheable verification problem; the
+// PrepareResult reports what was exposed.
+func UnrollPairCtx(ctx context.Context, c1, c2 *netlist.Circuit, prep PrepareOptions, rewrite bool) (*Unrolled, *PrepareResult, error) {
+	p1, err := PrepareCtx(ctx, c1, prep)
+	if err != nil {
+		return nil, nil, err
+	}
+	b2, err := MatchExposure(c2, p1.Exposed)
+	if err != nil {
+		return nil, nil, err
+	}
+	u, err := UnrollAcyclicCtx(ctx, p1.Circuit, b2, rewrite)
+	if err != nil {
+		return nil, nil, err
+	}
+	return u, p1, nil
 }
 
 // Verify checks two arbitrary sequential circuits: it prepares the first
@@ -212,21 +301,9 @@ func VerifyCtx(ctx context.Context, c1, c2 *netlist.Circuit, prep PrepareOptions
 		return nil, err
 	}
 	// Expose the same names in c2.
-	var ids []int
-	for _, name := range p1.Exposed {
-		id := c2.Lookup(name)
-		if id < 0 || c2.Nodes[id].Kind != netlist.KindLatch {
-			return nil, fmt.Errorf("core: latch %q exposed in first circuit is missing in second", name)
-		}
-		ids = append(ids, id)
-	}
-	b2, err := feedback.Expose(c2, ids)
+	b2, err := MatchExposure(c2, p1.Exposed)
 	if err != nil {
 		return nil, err
-	}
-	b2 = netlist.Sweep(b2, false)
-	if err := cbf.CheckAcyclic(b2); err != nil {
-		return nil, fmt.Errorf("core: second circuit still cyclic after matching exposure: %w", err)
 	}
 	return VerifyAcyclicCtx(ctx, p1.Circuit, b2, opt)
 }

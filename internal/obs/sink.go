@@ -38,6 +38,18 @@ func attrMap(attrs []Attr) map[string]any {
 	return m
 }
 
+// MarshalEvent encodes one event in the documented JSONL wire schema
+// (one JSON object, no trailing newline). It exists for sinks that
+// stream events outside a JSONLSink — the verification daemon's SSE
+// fan-out re-encodes per subscriber-visible line and must stay
+// bit-compatible with what ValidateJSONL accepts.
+func MarshalEvent(ev Event) ([]byte, error) {
+	return json.Marshal(wireEvent{
+		Type: ev.Type, TS: ev.TS, Name: ev.Name, Span: ev.Span,
+		Parent: ev.Parent, Dur: ev.Dur, Value: ev.Value, Attrs: attrMap(ev.Attrs),
+	})
+}
+
 // JSONLSink streams every event as one JSON line (the wireEvent
 // schema). It buffers; Close flushes.
 type JSONLSink struct {

@@ -1,0 +1,119 @@
+package serve
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"seqver/internal/metrics"
+)
+
+func testKey(i int) string { return fmt.Sprintf("%032x", i) }
+
+func decided(verdict string) *CachedResult {
+	return &CachedResult{Verdict: verdict, ExitCode: 0, Outputs: 1, SolveNS: 1000}
+}
+
+func TestCacheHitMissEvict(t *testing.T) {
+	reg := metrics.NewRegistry()
+	c, err := NewCache(400, "", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Get(testKey(1)) != nil {
+		t.Fatal("hit on empty cache")
+	}
+	c.Put(testKey(1), decided("equivalent"))
+	if got := c.Get(testKey(1)); got == nil || got.Verdict != "equivalent" {
+		t.Fatalf("get after put: %+v", got)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Entries != 1 {
+		t.Fatalf("stats after one miss + one hit: %+v", st)
+	}
+	// Entries are ~130 encoded bytes; a 400-byte budget holds 3 at most,
+	// and the least recently used key is the one to go.
+	for i := 2; i <= 5; i++ {
+		c.Put(testKey(i), decided("equivalent"))
+		c.Get(testKey(1)) // keep 1 hot
+	}
+	if c.Get(testKey(1)) == nil {
+		t.Error("hot entry was evicted")
+	}
+	if st = c.Stats(); st.Evictions == 0 {
+		t.Errorf("no evictions under a %d-byte budget after 5 inserts: %+v", 400, st)
+	}
+	if st.Bytes > 400 {
+		t.Errorf("cache over budget: %d > 400", st.Bytes)
+	}
+}
+
+func TestCacheRefusesUndecided(t *testing.T) {
+	c, err := NewCache(1<<20, "", metrics.NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Put(testKey(1), decided("undecided"))
+	c.Put(testKey(2), nil)
+	if st := c.Stats(); st.Entries != 0 {
+		t.Fatalf("undecided/nil results were cached: %+v", st)
+	}
+}
+
+func TestCacheDiskSpill(t *testing.T) {
+	dir := t.TempDir()
+	reg := metrics.NewRegistry()
+	c, err := NewCache(1<<20, dir, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := decided("inequivalent")
+	res.ExitCode = 1
+	res.FailingOutput = "o3"
+	res.Counterexample = map[string]bool{"a": true, "b": false}
+	c.Put(testKey(7), res)
+	if _, err := os.Stat(filepath.Join(dir, testKey(7)+".json")); err != nil {
+		t.Fatalf("write-through spill file: %v", err)
+	}
+
+	// A fresh cache over the same dir — the restart scenario — answers
+	// from disk and counts it as a (disk) hit.
+	c2, err := NewCache(1<<20, dir, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := c2.Get(testKey(7))
+	if got == nil || got.Verdict != "inequivalent" || got.FailingOutput != "o3" || !got.Counterexample["a"] {
+		t.Fatalf("disk promotion lost data: %+v", got)
+	}
+	st := c2.Stats()
+	if st.DiskHits != 1 || st.Entries != 1 {
+		t.Fatalf("disk hit accounting: %+v", st)
+	}
+	// Promoted: the second lookup is a pure memory hit.
+	if c2.Get(testKey(7)) == nil {
+		t.Fatal("promoted entry missing from memory")
+	}
+	if st = c2.Stats(); st.DiskHits != 1 {
+		t.Fatalf("memory hit counted as disk hit: %+v", st)
+	}
+}
+
+func TestCacheRejectsNonHexKeys(t *testing.T) {
+	dir := t.TempDir()
+	c, err := NewCache(1<<20, dir, metrics.NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A hostile key must never become a path component.
+	c.Put("../../etc/passwd", decided("equivalent"))
+	c.Get("../../etc/passwd")
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		t.Fatalf("non-hex key reached the filesystem: %v", entries)
+	}
+}

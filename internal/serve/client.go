@@ -1,0 +1,131 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+)
+
+// Client is the minimal API client behind `seqver -submit` and the
+// integration tests. It speaks exactly the documented wire schema —
+// JobRequest in, JobView out — with no daemon-side types duplicated.
+type Client struct {
+	// Base is the daemon's base URL, e.g. "http://127.0.0.1:7333".
+	Base string
+	// HTTP overrides the transport (nil: a client with a sane timeout).
+	HTTP *http.Client
+}
+
+func (c *Client) http() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return &http.Client{Timeout: 30 * time.Second}
+}
+
+// apiErr decodes the daemon's error body into a Go error.
+func apiErr(resp *http.Response) error {
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	var wrapped struct {
+		Error apiError `json:"error"`
+	}
+	if json.Unmarshal(body, &wrapped) == nil && wrapped.Error.Code != "" {
+		return fmt.Errorf("daemon: %s (%s, HTTP %d)",
+			wrapped.Error.Message, wrapped.Error.Code, resp.StatusCode)
+	}
+	return fmt.Errorf("daemon: HTTP %d: %s", resp.StatusCode, bytes.TrimSpace(body))
+}
+
+// Submit posts a job and returns its initial view (status "queued").
+func (c *Client) Submit(ctx context.Context, req *JobRequest) (*JobView, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		c.Base+"/api/v1/jobs", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	resp, err := c.http().Do(hreq)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		return nil, apiErr(resp)
+	}
+	var v JobView
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		return nil, fmt.Errorf("daemon: bad job view: %w", err)
+	}
+	return &v, nil
+}
+
+// Job fetches a job's current view.
+func (c *Client) Job(ctx context.Context, id string) (*JobView, error) {
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		c.Base+"/api/v1/jobs/"+id, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.http().Do(hreq)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, apiErr(resp)
+	}
+	var v JobView
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		return nil, fmt.Errorf("daemon: bad job view: %w", err)
+	}
+	return &v, nil
+}
+
+// Wait polls until the job reaches a terminal status (or ctx ends),
+// returning the final view.
+func (c *Client) Wait(ctx context.Context, id string) (*JobView, error) {
+	delay := 25 * time.Millisecond
+	for {
+		v, err := c.Job(ctx, id)
+		if err != nil {
+			return nil, err
+		}
+		if isTerminal(v.Status) {
+			return v, nil
+		}
+		select {
+		case <-ctx.Done():
+			return v, ctx.Err()
+		case <-time.After(delay):
+		}
+		if delay < 500*time.Millisecond {
+			delay *= 2
+		}
+	}
+}
+
+// Trace fetches a job's buffered JSONL trace.
+func (c *Client) Trace(ctx context.Context, id string) ([]byte, error) {
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		c.Base+"/api/v1/jobs/"+id+"/trace", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.http().Do(hreq)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, apiErr(resp)
+	}
+	return io.ReadAll(resp.Body)
+}

@@ -1,0 +1,84 @@
+package serve
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"seqver/internal/bench"
+	"seqver/internal/netlist"
+	"seqver/internal/synth"
+)
+
+// The corpus lets clients submit jobs by name instead of shipping BLIF
+// text: every bench.Table1Specs and bench.Table2Specs circuit is
+// addressable by its spec name ("s3384", "ex7", ...), and "<name>:synth"
+// addresses the synthesized variant (synth.Optimize with the default
+// script) — so "s3384" vs "s3384:synth" is a one-line equivalence job.
+// Generation is deterministic (specs carry their own seeds), so corpus
+// names are stable content addresses across daemon restarts.
+
+type corpus struct {
+	mu    sync.Mutex
+	memo  map[string]*netlist.Circuit
+	specs map[string]func() (*netlist.Circuit, error)
+}
+
+func newCorpus() *corpus {
+	c := &corpus{
+		memo:  map[string]*netlist.Circuit{},
+		specs: map[string]func() (*netlist.Circuit, error){},
+	}
+	for _, sp := range bench.Table1Specs {
+		sp := sp
+		c.specs[sp.Name] = func() (*netlist.Circuit, error) { return bench.Generate(sp), nil }
+	}
+	for _, sp := range bench.Table2Specs {
+		sp := sp
+		c.specs[sp.Name] = func() (*netlist.Circuit, error) { return bench.GenerateIndustrial(sp), nil }
+	}
+	return c
+}
+
+// names returns the sorted base names (without the :synth suffix).
+func (c *corpus) names() []string {
+	out := make([]string, 0, len(c.specs))
+	for name := range c.specs {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// resolve returns a private clone of the named corpus circuit, so jobs
+// can never alias mutable netlist state. The ":synth" suffix selects the
+// default-script synthesized variant of the base circuit.
+func (c *corpus) resolve(name string) (*netlist.Circuit, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.resolveLocked(name)
+}
+
+func (c *corpus) resolveLocked(name string) (*netlist.Circuit, error) {
+	if got, ok := c.memo[name]; ok {
+		return got.Clone(), nil
+	}
+	base, synthed := strings.CutSuffix(name, ":synth")
+	gen, ok := c.specs[base]
+	if !ok {
+		return nil, fmt.Errorf("unknown corpus entry %q (GET /api/v1/corpus lists the names; append :synth for the synthesized variant)", name)
+	}
+	circ, err := gen()
+	if err != nil {
+		return nil, err
+	}
+	if synthed {
+		circ, err = synth.Optimize(circ, synth.DefaultScript())
+		if err != nil {
+			return nil, fmt.Errorf("corpus %q: synth: %w", name, err)
+		}
+	}
+	c.memo[name] = circ
+	return circ.Clone(), nil
+}

@@ -1,0 +1,141 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestDrainCompletesRunningRejectsQueued is the graceful-shutdown
+// contract: with one job in flight and one queued, Drain lets the
+// running job finish with a real verdict, moves the queued job to
+// "rejected" (surfaced with Retry-After over HTTP), and refuses new
+// submissions with 503. Run under -race in CI.
+func TestDrainCompletesRunningRejectsQueued(t *testing.T) {
+	gate := make(chan struct{})
+	var once sync.Once
+	release := func() { once.Do(func() { close(gate) }) }
+	defer release()
+
+	s, ts := newTestServer(t, Options{Workers: 1, QueueDepth: 8})
+	s.testRunGate = func(context.Context, *Job) { <-gate }
+	c := &Client{Base: ts.URL}
+	ctx := context.Background()
+
+	req := &JobRequest{Golden: SideSpec{BLIF: goldenSeq}, Revised: SideSpec{BLIF: revisedSeq}}
+	running, err := c.Submit(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitStatus(t, s, running.ID, StatusRunning)
+	queued, err := c.Submit(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	drained := make(chan struct{})
+	go func() {
+		s.Drain(30 * time.Second)
+		close(drained)
+	}()
+	// Drain flips the draining flag before it blocks on the pool; wait
+	// for it so the new-submission rejection below is deterministic.
+	deadline := time.Now().Add(10 * time.Second)
+	for !s.Draining() {
+		if time.Now().After(deadline) {
+			t.Fatal("server never started draining")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// New work is refused with 503 + Retry-After while the drain runs.
+	if _, err := s.Submit(req); !errors.Is(err, ErrDraining) {
+		t.Fatalf("submit during drain: %v, want ErrDraining", err)
+	}
+	resp, err := http.Post(ts.URL+"/api/v1/jobs", "application/json",
+		strings.NewReader(`{"golden":{"corpus":"s400"},"revised":{"corpus":"s400"}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable || resp.Header.Get("Retry-After") == "" {
+		t.Fatalf("submit during drain: HTTP %d, Retry-After %q",
+			resp.StatusCode, resp.Header.Get("Retry-After"))
+	}
+
+	// Let the in-flight job run to completion; the drain then rejects
+	// the queued job and returns.
+	release()
+	select {
+	case <-drained:
+	case <-time.After(30 * time.Second):
+		t.Fatal("drain did not return")
+	}
+
+	ran, err := c.Job(ctx, running.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ran.Status != StatusDone || ran.Result == nil || ran.Result.Verdict != "equivalent" {
+		t.Fatalf("running job after drain: %+v (error %q)", ran, ran.Error)
+	}
+	rej, err := c.Job(ctx, queued.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rej.Status != StatusRejected || rej.Error == "" {
+		t.Fatalf("queued job after drain: %+v", rej)
+	}
+
+	// Idempotent: a second Drain returns immediately.
+	done := make(chan struct{})
+	go func() { s.Drain(time.Second); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("second Drain blocked")
+	}
+}
+
+// TestDrainDeadlineCancelsStragglers: a job that outlives the drain
+// timeout has its context cut; with the gate still closed past the
+// deadline the drain must return anyway and the job must reach a
+// terminal state rather than wedge the pool.
+func TestDrainDeadlineCancelsStragglers(t *testing.T) {
+	gate := make(chan struct{})
+	s, ts := newTestServer(t, Options{Workers: 1})
+	s.testRunGate = func(ctx context.Context, _ *Job) {
+		// Hold the job until the drain deadline cancels its context.
+		select {
+		case <-gate:
+		case <-ctx.Done():
+		}
+	}
+	c := &Client{Base: ts.URL}
+	ctx := context.Background()
+
+	v, err := c.Submit(ctx, &JobRequest{
+		Golden: SideSpec{BLIF: goldenSeq}, Revised: SideSpec{BLIF: revisedSeq}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitStatus(t, s, v.ID, StatusRunning)
+
+	start := time.Now()
+	s.Drain(50 * time.Millisecond)
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("drain took %v despite 50ms deadline", elapsed)
+	}
+	close(gate)
+	final, err := c.Job(ctx, v.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !isTerminal(final.Status) {
+		t.Fatalf("straggler not terminal after deadline drain: %+v", final)
+	}
+}

@@ -1,0 +1,270 @@
+package serve
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"sync"
+	"time"
+
+	"seqver/internal/cec"
+)
+
+// Job statuses, as they appear on the wire. The lifecycle is
+// queued -> running -> done | failed, with rejected as the terminal
+// state of a job that was still queued when the daemon drained.
+const (
+	StatusQueued   = "queued"
+	StatusRunning  = "running"
+	StatusDone     = "done"
+	StatusFailed   = "failed"
+	StatusRejected = "rejected"
+)
+
+// SideSpec names one side of a verification pair: either an inline
+// BLIF text or a named corpus entry (see CorpusNames). Exactly one
+// field must be set.
+type SideSpec struct {
+	BLIF   string `json:"blif,omitempty"`
+	Corpus string `json:"corpus,omitempty"`
+}
+
+func (s SideSpec) validate(side string) error {
+	if (s.BLIF == "") == (s.Corpus == "") {
+		return fmt.Errorf("%s: exactly one of \"blif\" or \"corpus\" must be set", side)
+	}
+	return nil
+}
+
+// JobRequest is the POST /api/v1/jobs body: the pair plus the same
+// per-check options the seqver CLI exposes. Zero values select the
+// daemon's defaults.
+type JobRequest struct {
+	Golden  SideSpec `json:"golden"`
+	Revised SideSpec `json:"revised"`
+
+	// Engine: "hybrid" (default), "sat", "bdd", or "portfolio".
+	Engine string `json:"engine,omitempty"`
+	// SATMode: "incremental" (default) or "fresh".
+	SATMode string `json:"sat_mode,omitempty"`
+	// BudgetMS bounds the check's wall clock in milliseconds. 0 selects
+	// the daemon's default budget; values above the daemon's maximum
+	// are clamped to it (the daemon never runs unbudgeted jobs).
+	BudgetMS int64 `json:"budget_ms,omitempty"`
+	// Workers is the per-check miter parallelism (0: GOMAXPROCS).
+	Workers int `json:"workers,omitempty"`
+	// MaxConflicts bounds each SAT proof (0: engine default).
+	MaxConflicts int64 `json:"max_conflicts,omitempty"`
+	// Acyclic skips the prepare step: both circuits must already be
+	// feedback-free.
+	Acyclic bool `json:"acyclic,omitempty"`
+	// Rewrite enables Eq. 5 event rewriting on the EDBF path.
+	Rewrite bool `json:"rewrite,omitempty"`
+	// Unate re-models positive-unate self-loops before exposure.
+	Unate bool `json:"unate,omitempty"`
+	// NoCache bypasses the result cache for this job (the result is
+	// neither looked up nor stored) — for benchmarking the solver path.
+	NoCache bool `json:"no_cache,omitempty"`
+}
+
+func (r *JobRequest) validate() error {
+	if err := r.Golden.validate("golden"); err != nil {
+		return err
+	}
+	if err := r.Revised.validate("revised"); err != nil {
+		return err
+	}
+	switch r.Engine {
+	case "", "hybrid", "sat", "bdd", "portfolio":
+	default:
+		return fmt.Errorf("unknown engine %q (want hybrid, sat, bdd, or portfolio)", r.Engine)
+	}
+	switch r.SATMode {
+	case "", "incremental", "fresh":
+	default:
+		return fmt.Errorf("unknown sat_mode %q (want incremental or fresh)", r.SATMode)
+	}
+	if r.BudgetMS < 0 || r.Workers < 0 || r.MaxConflicts < 0 {
+		return fmt.Errorf("budget_ms, workers, and max_conflicts must be non-negative")
+	}
+	return nil
+}
+
+// requestView is the request echo embedded in a JobView: the options,
+// and the corpus names but never the inline BLIF text (which can be
+// megabytes).
+type requestView struct {
+	GoldenCorpus  string `json:"golden_corpus,omitempty"`
+	RevisedCorpus string `json:"revised_corpus,omitempty"`
+	InlineBLIF    bool   `json:"inline_blif,omitempty"`
+	Engine        string `json:"engine,omitempty"`
+	SATMode       string `json:"sat_mode,omitempty"`
+	BudgetMS      int64  `json:"budget_ms,omitempty"`
+	Workers       int    `json:"workers,omitempty"`
+	MaxConflicts  int64  `json:"max_conflicts,omitempty"`
+	Acyclic       bool   `json:"acyclic,omitempty"`
+	Rewrite       bool   `json:"rewrite,omitempty"`
+	Unate         bool   `json:"unate,omitempty"`
+	NoCache       bool   `json:"no_cache,omitempty"`
+}
+
+// JobResult is the verdict block of a finished job. ExitCode carries
+// the CLI contract (0 equivalent, 1 inequivalent, 2 undecided; failed
+// jobs report 3 at the job level) so scripted clients can branch
+// identically against the daemon and the CLI.
+type JobResult struct {
+	Verdict      string `json:"verdict"`
+	ExitCode     int    `json:"exit_code"`
+	Method       string `json:"method,omitempty"`
+	Conservative bool   `json:"conservative,omitempty"`
+	Depth        int    `json:"depth,omitempty"`
+	Outputs      int    `json:"outputs"`
+	// FailingOutput and Counterexample are the replayable witness of an
+	// inequivalence (input name in the unrolled window -> value).
+	FailingOutput    string          `json:"failing_output,omitempty"`
+	Counterexample   map[string]bool `json:"counterexample,omitempty"`
+	UndecidedOutputs []string        `json:"undecided_outputs,omitempty"`
+	SATCalls         int             `json:"sat_calls"`
+	// ElapsedNS is this job's own wall clock (for a cache hit: hash +
+	// lookup, no solving).
+	ElapsedNS int64 `json:"elapsed_ns"`
+	// Cached marks a verdict answered from the result cache; CacheKey
+	// is the miter's content address either way. FirstSolveNS is the
+	// original decision's wall clock when Cached.
+	Cached       bool   `json:"cached"`
+	CacheKey     string `json:"cache_key,omitempty"`
+	FirstSolveNS int64  `json:"first_solve_ns,omitempty"`
+	// Stats is the engine's per-stage accounting (absent on cache hits
+	// — no engine ran).
+	Stats *cec.Stats `json:"stats,omitempty"`
+}
+
+// JobView is the wire representation of a job, returned by the status
+// endpoints and the SSE done event.
+type JobView struct {
+	ID       string      `json:"id"`
+	Status   string      `json:"status"`
+	Created  time.Time   `json:"created"`
+	Started  *time.Time  `json:"started,omitempty"`
+	Finished *time.Time  `json:"finished,omitempty"`
+	Request  requestView `json:"request"`
+	Result   *JobResult  `json:"result,omitempty"`
+	Error    string      `json:"error,omitempty"`
+}
+
+// Job is one queued/running/finished verification. All mutable state
+// is guarded by mu; the run loop is the only writer after submission.
+type Job struct {
+	ID  string
+	req *JobRequest
+	fan *fanSink // per-job trace buffer + SSE fan-out
+
+	mu       sync.Mutex
+	status   string
+	created  time.Time
+	started  time.Time
+	finished time.Time
+	result   *JobResult
+	err      string
+	cancel   context.CancelFunc // set while running
+	done     chan struct{}      // closed on any terminal status
+}
+
+func newJob(req *JobRequest, traceBytes int) (*Job, error) {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return nil, fmt.Errorf("serve: job id: %w", err)
+	}
+	return &Job{
+		ID:      "j-" + hex.EncodeToString(b[:]),
+		req:     req,
+		fan:     newFanSink(traceBytes),
+		status:  StatusQueued,
+		created: time.Now(),
+		done:    make(chan struct{}),
+	}, nil
+}
+
+// View snapshots the job for the wire.
+func (j *Job) View() *JobView {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	v := &JobView{
+		ID: j.ID, Status: j.status, Created: j.created,
+		Request: requestView{
+			GoldenCorpus:  j.req.Golden.Corpus,
+			RevisedCorpus: j.req.Revised.Corpus,
+			InlineBLIF:    j.req.Golden.BLIF != "" || j.req.Revised.BLIF != "",
+			Engine:        j.req.Engine, SATMode: j.req.SATMode,
+			BudgetMS: j.req.BudgetMS, Workers: j.req.Workers,
+			MaxConflicts: j.req.MaxConflicts,
+			Acyclic:      j.req.Acyclic, Rewrite: j.req.Rewrite,
+			Unate: j.req.Unate, NoCache: j.req.NoCache,
+		},
+		Result: j.result,
+		Error:  j.err,
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		v.Started = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		v.Finished = &t
+	}
+	return v
+}
+
+// Status returns the job's current status.
+func (j *Job) Status() string {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.status
+}
+
+// Done is closed when the job reaches a terminal status.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+func (j *Job) setRunning(cancel context.CancelFunc) {
+	j.mu.Lock()
+	j.status = StatusRunning
+	j.started = time.Now()
+	j.cancel = cancel
+	j.mu.Unlock()
+}
+
+// finishAs moves the job to a terminal status. It is idempotent-hostile
+// by design: the worker loop is the only caller and calls it once.
+func (j *Job) finishAs(status string, res *JobResult, errMsg string) {
+	j.mu.Lock()
+	j.status = status
+	j.finished = time.Now()
+	j.result = res
+	j.err = errMsg
+	j.cancel = nil
+	j.mu.Unlock()
+	close(j.done)
+	j.fan.finish()
+}
+
+// cancelRun interrupts a running job's context (drain deadline).
+func (j *Job) cancelRun() {
+	j.mu.Lock()
+	cancel := j.cancel
+	j.mu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
+}
+
+// exitCode maps a verdict to the CLI exit-code contract.
+func exitCode(v cec.Verdict) int {
+	switch v {
+	case cec.Equivalent:
+		return 0
+	case cec.Inequivalent:
+		return 1
+	}
+	return 2
+}

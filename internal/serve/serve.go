@@ -1,0 +1,437 @@
+// Package serve is the verification daemon: a bounded job queue and
+// worker pool in front of the core pipeline, a content-addressed result
+// cache keyed by the prepared miter's structural hash, and the HTTP API
+// (see docs/API.md) that cmd/seqverd mounts. The package is a library —
+// tests and embedders run a Server against httptest without a process
+// boundary.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"seqver/internal/cec"
+	"seqver/internal/core"
+	"seqver/internal/metrics"
+	"seqver/internal/netlist"
+	"seqver/internal/obs"
+)
+
+// Options configures a Server. Zero values select the documented
+// defaults.
+type Options struct {
+	// Workers is the verification pool size — how many jobs solve
+	// concurrently (default 2). Each job additionally parallelizes its
+	// own miters per its request's workers option.
+	Workers int
+	// QueueDepth bounds waiting jobs; a full queue answers 503 (default 64).
+	QueueDepth int
+	// DefaultBudget is applied when a request leaves budget_ms at 0
+	// (default 30s). MaxBudget clamps requested budgets (default 5m);
+	// the daemon never runs an unbudgeted job.
+	DefaultBudget time.Duration
+	MaxBudget     time.Duration
+	// MaxBodyBytes bounds a submission body (default 8 MiB).
+	MaxBodyBytes int64
+	// CacheBytes is the result cache's in-memory budget (default 64 MiB);
+	// CacheDir, when non-empty, enables the write-through disk spill.
+	CacheBytes int64
+	CacheDir   string
+	// TraceBytes caps each job's buffered JSONL trace (default 4 MiB).
+	TraceBytes int
+	// MaxJobs bounds the finished-job history kept for GET (default 1024);
+	// the oldest terminal jobs are forgotten past it.
+	MaxJobs int
+	// Registry receives the daemon's metric series; nil creates one.
+	Registry *metrics.Registry
+}
+
+func (o *Options) defaults() {
+	if o.Workers <= 0 {
+		o.Workers = 2
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 64
+	}
+	if o.DefaultBudget <= 0 {
+		o.DefaultBudget = 30 * time.Second
+	}
+	if o.MaxBudget <= 0 {
+		o.MaxBudget = 5 * time.Minute
+	}
+	if o.MaxBodyBytes <= 0 {
+		o.MaxBodyBytes = 8 << 20
+	}
+	if o.CacheBytes <= 0 {
+		o.CacheBytes = 64 << 20
+	}
+	if o.TraceBytes <= 0 {
+		o.TraceBytes = 4 << 20
+	}
+	if o.MaxJobs <= 0 {
+		o.MaxJobs = 1024
+	}
+	if o.Registry == nil {
+		o.Registry = metrics.NewRegistry()
+	}
+}
+
+// Submission failure modes the HTTP layer maps to 503 + Retry-After.
+var (
+	ErrDraining  = errors.New("serve: draining, not accepting jobs")
+	ErrQueueFull = errors.New("serve: job queue full")
+)
+
+// Server owns the queue, the worker pool, the job table, and the result
+// cache. Create with New, stop with Drain.
+type Server struct {
+	opt    Options
+	reg    *metrics.Registry
+	cache  *Cache
+	corpus *corpus
+
+	mu       sync.Mutex
+	jobs     map[string]*Job
+	order    []string // submission order, for listing and retention
+	queue    chan *Job
+	draining bool
+
+	wg         sync.WaitGroup
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+	drainOnce  sync.Once
+
+	queuedG, runningG *metrics.Gauge
+	jobSeconds        *metrics.Histogram
+
+	// testRunGate, when set (tests only), is called after a job enters
+	// the running state and before the pipeline executes — the seam the
+	// drain tests use to hold a job in flight deterministically. The
+	// context is the job's run context (canceled by the drain deadline).
+	testRunGate func(context.Context, *Job)
+}
+
+// New starts a Server's worker pool and returns it ready to accept
+// submissions.
+func New(opt Options) (*Server, error) {
+	opt.defaults()
+	cache, err := NewCache(opt.CacheBytes, opt.CacheDir, opt.Registry)
+	if err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		opt: opt, reg: opt.Registry, cache: cache, corpus: newCorpus(),
+		jobs:  map[string]*Job{},
+		queue: make(chan *Job, opt.QueueDepth),
+		baseCtx: ctx, baseCancel: cancel,
+		queuedG: opt.Registry.Gauge("seqver_jobs_queued",
+			"Jobs waiting in the daemon's queue."),
+		runningG: opt.Registry.Gauge("seqver_jobs_running",
+			"Jobs currently being verified."),
+		jobSeconds: opt.Registry.Histogram("seqver_job_seconds",
+			"Wall clock of finished jobs, submission to verdict."),
+	}
+	for i := 0; i < opt.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s, nil
+}
+
+// Registry returns the metric registry the daemon reports into.
+func (s *Server) Registry() *metrics.Registry { return s.reg }
+
+// CacheStats snapshots the result cache.
+func (s *Server) CacheStats() CacheStats { return s.cache.Stats() }
+
+// CorpusNames lists the built-in corpus (base names; each also has a
+// ":synth" variant).
+func (s *Server) CorpusNames() []string { return s.corpus.names() }
+
+// Submit validates and enqueues a job. It fails fast — ErrDraining
+// during shutdown, ErrQueueFull past QueueDepth — rather than blocking
+// the caller.
+func (s *Server) Submit(req *JobRequest) (*Job, error) {
+	if err := req.validate(); err != nil {
+		return nil, err
+	}
+	j, err := newJob(req, s.opt.TraceBytes)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return nil, ErrDraining
+	}
+	select {
+	case s.queue <- j:
+	default:
+		s.mu.Unlock()
+		return nil, ErrQueueFull
+	}
+	s.jobs[j.ID] = j
+	s.order = append(s.order, j.ID)
+	s.retainLocked()
+	s.mu.Unlock()
+	s.queuedG.Add(1)
+	s.reg.CounterL("seqver_jobs_total",
+		"Jobs accepted by the daemon, by outcome.", "outcome", "accepted").Inc()
+	return j, nil
+}
+
+// retainLocked forgets the oldest terminal jobs past the MaxJobs
+// history bound. Queued/running jobs are never dropped.
+func (s *Server) retainLocked() {
+	excess := len(s.order) - s.opt.MaxJobs
+	if excess <= 0 {
+		return
+	}
+	kept := s.order[:0]
+	for _, id := range s.order {
+		j := s.jobs[id]
+		if excess > 0 && j != nil && isTerminal(j.Status()) {
+			delete(s.jobs, id)
+			excess--
+			continue
+		}
+		kept = append(kept, id)
+	}
+	s.order = kept
+}
+
+func isTerminal(status string) bool {
+	return status == StatusDone || status == StatusFailed || status == StatusRejected
+}
+
+// Job returns the job with the given id, or nil.
+func (s *Server) Job(id string) *Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.jobs[id]
+}
+
+// JobViews snapshots all remembered jobs, newest first.
+func (s *Server) JobViews() []*JobView {
+	s.mu.Lock()
+	ids := append([]string(nil), s.order...)
+	jobs := make([]*Job, 0, len(ids))
+	for i := len(ids) - 1; i >= 0; i-- {
+		if j := s.jobs[ids[i]]; j != nil {
+			jobs = append(jobs, j)
+		}
+	}
+	s.mu.Unlock()
+	out := make([]*JobView, len(jobs))
+	for i, j := range jobs {
+		out[i] = j.View()
+	}
+	return out
+}
+
+// Draining reports whether Drain has begun.
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// Drain stops the daemon gracefully: new submissions are refused,
+// still-queued jobs finish as rejected, and in-flight jobs get up to
+// timeout to complete — past it their contexts are canceled, degrading
+// their verdicts to undecided (never a wrong answer). Drain blocks
+// until the pool is idle and is safe to call more than once.
+func (s *Server) Drain(timeout time.Duration) {
+	s.drainOnce.Do(func() {
+		s.mu.Lock()
+		s.draining = true
+		s.mu.Unlock()
+		// Safe: every send happens under mu with draining false.
+		close(s.queue)
+		done := make(chan struct{})
+		go func() { s.wg.Wait(); close(done) }()
+		select {
+		case <-done:
+		case <-time.After(timeout):
+			s.baseCancel()
+			<-done
+		}
+		s.baseCancel()
+	})
+}
+
+// worker drains the queue: it runs jobs until Drain closes the channel,
+// rejecting any job that was still queued when draining began.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for j := range s.queue {
+		s.queuedG.Add(-1)
+		s.mu.Lock()
+		draining := s.draining
+		s.mu.Unlock()
+		if draining {
+			s.countOutcome(StatusRejected)
+			j.finishAs(StatusRejected, nil, "daemon draining before the job started")
+			continue
+		}
+		s.run(j)
+	}
+}
+
+func (s *Server) countOutcome(status string) {
+	s.reg.CounterL("seqver_jobs_total",
+		"Jobs accepted by the daemon, by outcome.", "outcome", status).Inc()
+}
+
+// run executes one job under its own tracer: the job's fanSink receives
+// the trace (buffer + SSE), and the shared registry aggregates the
+// engine's metric events across jobs.
+func (s *Server) run(j *Job) {
+	s.runningG.Add(1)
+	defer s.runningG.Add(-1)
+	tr := obs.New(j.fan, metrics.NewSink(s.reg))
+	ctx := obs.WithTracer(s.baseCtx, tr)
+	ctx = metrics.WithRegistry(ctx, s.reg)
+	ctx, cancel := context.WithCancel(ctx)
+	j.setRunning(cancel)
+	if s.testRunGate != nil {
+		s.testRunGate(ctx, j)
+	}
+	res, errMsg := s.execute(ctx, j)
+	cancel()
+	tr.Close() // flush the trace before subscribers see the terminal state
+	if errMsg != "" {
+		s.countOutcome(StatusFailed)
+		j.finishAs(StatusFailed, nil, errMsg)
+		return
+	}
+	s.jobSeconds.Observe(res.ElapsedNS)
+	s.countOutcome(StatusDone)
+	j.finishAs(StatusDone, res, "")
+}
+
+// execute runs the pipeline for one job: resolve both sides, reduce to
+// a combinational miter, consult the result cache by the miter's
+// structural hash, and only on a miss spend solver time. The returned
+// error string (not error) is the job's failure message.
+func (s *Server) execute(ctx context.Context, j *Job) (*JobResult, string) {
+	start := time.Now()
+	req := j.req
+	ctx, root := obs.Start(ctx, "job", obs.S("job", j.ID))
+	defer root.End()
+
+	c1, err := s.resolveSide(req.Golden, "golden")
+	if err != nil {
+		return nil, err.Error()
+	}
+	c2, err := s.resolveSide(req.Revised, "revised")
+	if err != nil {
+		return nil, err.Error()
+	}
+
+	var u *core.Unrolled
+	if req.Acyclic {
+		u, err = core.UnrollAcyclicCtx(ctx, c1, c2, req.Rewrite)
+	} else {
+		u, _, err = core.UnrollPairCtx(ctx, c1, c2,
+			core.PrepareOptions{UnateAware: req.Unate}, req.Rewrite)
+	}
+	if err != nil {
+		return nil, err.Error()
+	}
+
+	// Cache consultation is its own span so a hit's trace shows exactly
+	// where the verdict came from — and, by the absence of a "cec" span,
+	// that no solver ran.
+	var key string
+	var hit *CachedResult
+	if !req.NoCache {
+		_, csp := obs.Start(ctx, "cache.lookup")
+		key, err = cec.MiterHash(u.U1, u.U2)
+		if err == nil {
+			hit = s.cache.Get(key)
+		}
+		outcome := "miss"
+		if hit != nil {
+			outcome = "hit"
+		}
+		if err != nil {
+			outcome = "unkeyable"
+		}
+		csp.Event("cache", obs.S("outcome", outcome))
+		csp.End()
+	}
+	if hit != nil {
+		return &JobResult{
+			Verdict: hit.Verdict, ExitCode: hit.ExitCode,
+			Method: u.Method, Conservative: u.Conservative, Depth: u.Depth,
+			Outputs: hit.Outputs, FailingOutput: hit.FailingOutput,
+			Counterexample: hit.Counterexample, SATCalls: hit.SATCalls,
+			ElapsedNS: time.Since(start).Nanoseconds(),
+			Cached:    true, CacheKey: key, FirstSolveNS: hit.SolveNS,
+		}, ""
+	}
+
+	opt := cec.Options{
+		Engine: req.Engine, SATMode: req.SATMode,
+		MaxConflicts: req.MaxConflicts, Workers: req.Workers,
+		Budget: s.clampBudget(req.BudgetMS),
+	}
+	res, err := u.CheckCtx(ctx, opt)
+	if err != nil {
+		return nil, err.Error()
+	}
+	out := &JobResult{
+		Verdict: res.Verdict.String(), ExitCode: exitCode(res.Verdict),
+		Method: u.Method, Conservative: u.Conservative, Depth: u.Depth,
+		Outputs: res.Outputs, FailingOutput: res.FailingOutput,
+		Counterexample: res.Counterexample, UndecidedOutputs: res.UndecidedOutputs,
+		SATCalls: res.SATCalls, ElapsedNS: time.Since(start).Nanoseconds(),
+		CacheKey: key, Stats: res.Stats,
+	}
+	if !req.NoCache && key != "" && res.Verdict != cec.Undecided {
+		s.cache.Put(key, &CachedResult{
+			Verdict: out.Verdict, ExitCode: out.ExitCode,
+			Method: u.Method, Conservative: u.Conservative, Depth: u.Depth,
+			Outputs: res.Outputs, FailingOutput: res.FailingOutput,
+			Counterexample: res.Counterexample, SATCalls: res.SATCalls,
+			SolveNS: res.Elapsed.Nanoseconds(),
+		})
+	}
+	return out, ""
+}
+
+// clampBudget maps the request's budget_ms to the daemon's bounds: 0
+// selects the default, anything above the maximum is clamped to it.
+func (s *Server) clampBudget(ms int64) time.Duration {
+	b := time.Duration(ms) * time.Millisecond
+	if b <= 0 {
+		return s.opt.DefaultBudget
+	}
+	if b > s.opt.MaxBudget {
+		return s.opt.MaxBudget
+	}
+	return b
+}
+
+// resolveSide materializes one side of the pair from inline BLIF or the
+// corpus.
+func (s *Server) resolveSide(spec SideSpec, side string) (*netlist.Circuit, error) {
+	if spec.Corpus != "" {
+		c, err := s.corpus.resolve(spec.Corpus)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", side, err)
+		}
+		return c, nil
+	}
+	c, err := netlist.ParseBLIF(strings.NewReader(spec.BLIF))
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", side, err)
+	}
+	return c, nil
+}

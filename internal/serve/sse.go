@@ -1,0 +1,109 @@
+package serve
+
+import (
+	"sync"
+
+	"seqver/internal/obs"
+)
+
+// fanSink is the per-job trace terminal: it buffers the job's JSONL
+// trace (served verbatim by GET /api/v1/jobs/{id}/trace) and fans each
+// line out to live SSE subscribers. It implements obs.Sink; the tracer
+// serializes Emit calls, but subscribe/snapshot race with them, hence
+// the mutex.
+//
+// Backpressure contract: a subscriber that stops reading loses events
+// (non-blocking send into a buffered channel) rather than stalling the
+// verification; the buffer cap bounds memory per job, and a trace that
+// outgrows it is truncated at the tail with Truncated set — whole lines
+// only, so what is served always parses.
+type fanSink struct {
+	mu        sync.Mutex
+	buf       []byte
+	max       int
+	truncated bool
+	dropped   int64
+	subs      map[chan []byte]struct{}
+	finished  bool
+}
+
+func newFanSink(maxBytes int) *fanSink {
+	if maxBytes <= 0 {
+		maxBytes = 4 << 20
+	}
+	return &fanSink{max: maxBytes, subs: map[chan []byte]struct{}{}}
+}
+
+// Emit buffers and fans out one trace event.
+func (f *fanSink) Emit(ev obs.Event) {
+	line, err := obs.MarshalEvent(ev)
+	if err != nil {
+		return
+	}
+	f.mu.Lock()
+	if len(f.buf)+len(line)+1 <= f.max {
+		f.buf = append(f.buf, line...)
+		f.buf = append(f.buf, '\n')
+	} else {
+		f.truncated = true
+		f.dropped++
+	}
+	for ch := range f.subs {
+		select {
+		case ch <- line:
+		default: // slow subscriber: drop, never stall the job
+		}
+	}
+	f.mu.Unlock()
+}
+
+// Close is the obs.Sink hook; subscriber channels stay open until the
+// job reaches a terminal status (finish), which happens after the
+// tracer is closed.
+func (f *fanSink) Close() error { return nil }
+
+// subscribe registers a live listener and returns a snapshot of the
+// trace so far plus the channel future lines arrive on. The snapshot
+// and registration are atomic: no line is lost or duplicated between
+// them. On an already-finished job the returned channel is closed.
+func (f *fanSink) subscribe() ([]byte, chan []byte) {
+	ch := make(chan []byte, 256)
+	f.mu.Lock()
+	snap := append([]byte(nil), f.buf...)
+	if f.finished {
+		close(ch)
+	} else {
+		f.subs[ch] = struct{}{}
+	}
+	f.mu.Unlock()
+	return snap, ch
+}
+
+func (f *fanSink) unsubscribe(ch chan []byte) {
+	f.mu.Lock()
+	if _, ok := f.subs[ch]; ok {
+		delete(f.subs, ch)
+		close(ch)
+	}
+	f.mu.Unlock()
+}
+
+// finish closes every subscriber channel; called once when the job
+// reaches a terminal status (after its tracer has flushed).
+func (f *fanSink) finish() {
+	f.mu.Lock()
+	f.finished = true
+	for ch := range f.subs {
+		close(ch)
+	}
+	f.subs = map[chan []byte]struct{}{}
+	f.mu.Unlock()
+}
+
+// trace snapshots the buffered JSONL trace and whether it was
+// truncated.
+func (f *fanSink) trace() ([]byte, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]byte(nil), f.buf...), f.truncated
+}

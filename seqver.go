@@ -46,7 +46,7 @@ import (
 
 // Version identifies the library/tool build; CLIs stamp it into JSON
 // envelopes so archived results can be tied to the code that made them.
-const Version = "0.5.0"
+const Version = "0.6.0"
 
 // Circuit is the sequential circuit model: combinational gates plus
 // single-phase edge-triggered latches with optional load enables.
@@ -167,6 +167,15 @@ func Verify(c1, c2 *Circuit, prep PrepareOptions, opt Options) (*Report, error) 
 func VerifyCtx(ctx context.Context, c1, c2 *Circuit, prep PrepareOptions, opt Options) (*Report, error) {
 	return core.VerifyCtx(ctx, c1, c2, prep, opt)
 }
+
+// MiterHash returns the canonical content address of a combinational
+// comparison: a structural hash of the joint miter AIG, invariant to
+// node numbering, declaration order, and input naming differences that
+// don't change the logic. Structurally identical pairs — however their
+// BLIF was written — hash equal. The seqverd daemon keys its result
+// cache with it; only decided verdicts may be cached under it (an
+// undecided verdict is budget-dependent, not a property of the miter).
+func MiterHash(c1, c2 *Circuit) (string, error) { return cec.MiterHash(c1, c2) }
 
 // CheckCombinational exposes the raw combinational equivalence checker
 // (name-aligned inputs/outputs).
