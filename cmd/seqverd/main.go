@@ -9,7 +9,10 @@
 //	seqverd [-addr :7333] [-pool N] [-queue N]
 //	        [-default-budget DUR] [-max-budget DUR]
 //	        [-cache-bytes N] [-cache-dir DIR]
+//	        [-journal-dir DIR] [-journal-fsync]
+//	        [-max-attempts N] [-stall-timeout DUR] [-mem-ceiling N]
 //	        [-drain-timeout DUR] [-trace-bytes N] [-max-body N]
+//	        [-faults SPEC]
 //
 // The API lives under /api/v1 (submit POST /api/v1/jobs, poll
 // GET /api/v1/jobs/{id}, stream GET /api/v1/jobs/{id}/events); the same
@@ -22,6 +25,17 @@
 // jobs get -drain-timeout to complete before their budgets are cut
 // (degrading verdicts to undecided, never to a wrong answer). A second
 // signal exits immediately.
+//
+// With -journal-dir the daemon is crash-safe: every job lifecycle
+// transition is appended to a JSONL write-ahead log, and a daemon that
+// dies uncleanly (SIGKILL, OOM) restarts by replaying it — finished
+// jobs reappear with their verdicts, interrupted jobs are re-enqueued
+// or answered from the result cache by their journaled miter hash.
+// -max-attempts, -stall-timeout, and -mem-ceiling tune the per-job
+// watchdog and retry ladder; docs/OPERATIONS.md is the runbook.
+//
+// -faults (or SEQVERD_FAULTS) enables deterministic fault injection for
+// chaos testing — never set it in production. See internal/faults.
 package main
 
 import (
@@ -35,6 +49,7 @@ import (
 	"syscall"
 	"time"
 
+	"seqver/internal/faults"
 	"seqver/internal/serve"
 )
 
@@ -51,22 +66,40 @@ func run() int {
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "time in-flight jobs get to finish after SIGTERM")
 	traceBytes := flag.Int("trace-bytes", 4<<20, "per-job buffered trace cap in bytes")
 	maxBody := flag.Int64("max-body", 8<<20, "maximum submission body size in bytes")
+	journalDir := flag.String("journal-dir", "", "durable job journal directory (crash recovery; empty: in-memory only)")
+	journalFsync := flag.Bool("journal-fsync", false, "fsync every journal append (survives power loss, not just SIGKILL)")
+	maxAttempts := flag.Int("max-attempts", 3, "running attempts per job before quarantine")
+	stallTimeout := flag.Duration("stall-timeout", 2*time.Minute, "watchdog kills a job emitting no progress events for this long (negative: off)")
+	memCeiling := flag.Int64("mem-ceiling", 0, "watchdog kills the running job when the process heap exceeds this many bytes (0: off)")
+	faultSpec := flag.String("faults", os.Getenv("SEQVERD_FAULTS"),
+		"deterministic fault-injection spec for chaos testing, e.g. \"seed=7,worker_panic=0.2\" (default $SEQVERD_FAULTS; empty: off)")
 	flag.Parse()
 	if flag.NArg() != 0 {
 		fmt.Fprintln(os.Stderr, "usage: seqverd [flags]")
 		flag.PrintDefaults()
 		return 3
 	}
+	if plan, err := faults.Parse(*faultSpec); err != nil {
+		return fail(err)
+	} else if plan != nil {
+		faults.Install(plan)
+		fmt.Fprintf(os.Stderr, "seqverd: FAULT INJECTION ACTIVE (%s) — not a production configuration\n", plan)
+	}
 
 	s, err := serve.New(serve.Options{
-		Workers:       *pool,
-		QueueDepth:    *queue,
-		DefaultBudget: *defaultBudget,
-		MaxBudget:     *maxBudget,
-		CacheBytes:    *cacheBytes,
-		CacheDir:      *cacheDir,
-		TraceBytes:    *traceBytes,
-		MaxBodyBytes:  *maxBody,
+		Workers:         *pool,
+		QueueDepth:      *queue,
+		DefaultBudget:   *defaultBudget,
+		MaxBudget:       *maxBudget,
+		CacheBytes:      *cacheBytes,
+		CacheDir:        *cacheDir,
+		TraceBytes:      *traceBytes,
+		MaxBodyBytes:    *maxBody,
+		JournalDir:      *journalDir,
+		JournalFsync:    *journalFsync,
+		MaxAttempts:     *maxAttempts,
+		StallTimeout:    *stallTimeout,
+		MemCeilingBytes: *memCeiling,
 	})
 	if err != nil {
 		return fail(err)

@@ -1,0 +1,235 @@
+// Package faults is the deterministic fault-injection layer: named
+// injection points compiled into the daemon's failure-prone seams
+// (worker panic, solver stall, disk writes, journal appends, parsing)
+// that fire according to a seeded, explicitly installed Plan.
+//
+// The package mirrors the obs/metrics overhead contract: with no plan
+// installed — the default, and the only production configuration —
+// every Fire call is a single atomic load plus a nil check and
+// allocates nothing (pinned by TestDisabledZeroAlloc with
+// testing.AllocsPerRun). Injection is opt-in twice over: a plan must be
+// parsed from an explicit spec (the seqverd -faults flag or the
+// SEQVERD_FAULTS environment variable) and then installed.
+//
+// A plan is deterministic for a fixed seed and call sequence: each Fire
+// consumes one variate from a seeded PRNG under the plan's mutex, so a
+// single-threaded caller replays identically. Concurrent callers
+// serialize on the mutex; their interleaving (and therefore which call
+// site consumes which variate) follows the scheduler, which is exactly
+// the nondeterminism a chaos test wants while still drawing from a
+// reproducible stream.
+package faults
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Point names one injection site. The set is closed: Parse rejects
+// unknown names so a typo in a chaos spec fails loudly instead of
+// silently injecting nothing.
+type Point string
+
+const (
+	// WorkerPanic panics the serve worker mid-job (recovered by the
+	// daemon's retry path).
+	WorkerPanic Point = "worker_panic"
+	// SolverStall wedges a job before the engine runs until its context
+	// is canceled — the watchdog's stall window is the defense.
+	SolverStall Point = "solver_stall"
+	// DiskFull fails the result cache's disk spill write.
+	DiskFull Point = "disk_full"
+	// CorruptJournal mangles one journal append into a torn record.
+	CorruptJournal Point = "corrupt_journal"
+	// SlowParse delays circuit resolution by the plan's delay.
+	SlowParse Point = "slow_parse"
+)
+
+// Points lists every valid injection point.
+var Points = []Point{WorkerPanic, SolverStall, DiskFull, CorruptJournal, SlowParse}
+
+// Plan is a parsed injection configuration: a firing probability per
+// point, a shared seeded PRNG, and per-point fire counters.
+type Plan struct {
+	seed  int64
+	delay time.Duration
+
+	mu    sync.Mutex
+	rng   *rand.Rand
+	prob  map[Point]float64
+	fired map[Point]int64
+	calls map[Point]int64
+}
+
+// current is the installed plan; nil means injection is disabled and
+// every Fire is a no-op.
+var current atomic.Pointer[Plan]
+
+// Install makes p the active plan (nil disables injection).
+func Install(p *Plan) {
+	if p == nil {
+		current.Store(nil)
+		return
+	}
+	current.Store(p)
+}
+
+// Disable removes any active plan.
+func Disable() { current.Store(nil) }
+
+// Enabled reports whether a plan is installed.
+func Enabled() bool { return current.Load() != nil }
+
+// Fire reports whether the named fault triggers at this call site.
+// With no plan installed it is one atomic load and a nil check.
+func Fire(p Point) bool {
+	pl := current.Load()
+	if pl == nil {
+		return false
+	}
+	return pl.fire(p)
+}
+
+// Delay returns the active plan's injected latency (for SlowParse-style
+// points), or zero when disabled.
+func Delay() time.Duration {
+	pl := current.Load()
+	if pl == nil {
+		return 0
+	}
+	return pl.delay
+}
+
+func (pl *Plan) fire(p Point) bool {
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
+	prob, ok := pl.prob[p]
+	if !ok {
+		return false
+	}
+	pl.calls[p]++
+	// Consume a variate even at prob 1 so the stream position stays a
+	// pure function of the call sequence regardless of probabilities.
+	v := pl.rng.Float64()
+	if v >= prob {
+		return false
+	}
+	pl.fired[p]++
+	return true
+}
+
+// Counts snapshots how often each configured point fired (and was
+// consulted), keyed by point name — the chaos harness's ground truth.
+func (pl *Plan) Counts() map[string]struct{ Calls, Fired int64 } {
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
+	out := make(map[string]struct{ Calls, Fired int64 }, len(pl.prob))
+	for p := range pl.prob {
+		out[string(p)] = struct{ Calls, Fired int64 }{pl.calls[p], pl.fired[p]}
+	}
+	return out
+}
+
+// Seed returns the plan's PRNG seed.
+func (pl *Plan) Seed() int64 { return pl.seed }
+
+// String renders the plan back as a normalized spec.
+func (pl *Plan) String() string {
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
+	parts := []string{fmt.Sprintf("seed=%d", pl.seed)}
+	if pl.delay > 0 {
+		parts = append(parts, "delay="+pl.delay.String())
+	}
+	points := make([]string, 0, len(pl.prob))
+	for p := range pl.prob {
+		points = append(points, string(p))
+	}
+	sort.Strings(points)
+	for _, p := range points {
+		parts = append(parts, fmt.Sprintf("%s=%g", p, pl.prob[Point(p)]))
+	}
+	return strings.Join(parts, ",")
+}
+
+// Parse builds a Plan from a comma-separated spec of key=value pairs:
+// point probabilities in [0,1] ("worker_panic=0.25,disk_full=1"), an
+// optional "seed=N" (default 1), and an optional "delay=DUR" consumed
+// by latency points (default 250ms). An empty spec returns (nil, nil):
+// injection stays disabled.
+func Parse(spec string) (*Plan, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return nil, nil
+	}
+	pl := &Plan{
+		seed:  1,
+		delay: 250 * time.Millisecond,
+		prob:  map[Point]float64{},
+		fired: map[Point]int64{},
+		calls: map[Point]int64{},
+	}
+	for _, field := range strings.Split(spec, ",") {
+		field = strings.TrimSpace(field)
+		if field == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(field, "=")
+		if !ok {
+			return nil, fmt.Errorf("faults: %q is not key=value", field)
+		}
+		key, val = strings.TrimSpace(key), strings.TrimSpace(val)
+		switch key {
+		case "seed":
+			n, err := strconv.ParseInt(val, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("faults: bad seed %q: %v", val, err)
+			}
+			pl.seed = n
+		case "delay":
+			d, err := time.ParseDuration(val)
+			if err != nil || d < 0 {
+				return nil, fmt.Errorf("faults: bad delay %q", val)
+			}
+			pl.delay = d
+		default:
+			if !validPoint(key) {
+				return nil, fmt.Errorf("faults: unknown injection point %q (want one of %s)",
+					key, pointNames())
+			}
+			p, err := strconv.ParseFloat(val, 64)
+			if err != nil || p < 0 || p > 1 {
+				return nil, fmt.Errorf("faults: %s probability %q not in [0,1]", key, val)
+			}
+			pl.prob[Point(key)] = p
+		}
+	}
+	if len(pl.prob) == 0 {
+		return nil, fmt.Errorf("faults: spec %q configures no injection point", spec)
+	}
+	pl.rng = rand.New(rand.NewSource(pl.seed))
+	return pl, nil
+}
+
+func validPoint(name string) bool {
+	for _, p := range Points {
+		if string(p) == name {
+			return true
+		}
+	}
+	return false
+}
+
+func pointNames() string {
+	names := make([]string, len(Points))
+	for i, p := range Points {
+		names[i] = string(p)
+	}
+	return strings.Join(names, ", ")
+}

@@ -3,13 +3,14 @@ package serve
 import (
 	"container/list"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
+	"sync"
 	"time"
 
-	"sync"
-
+	"seqver/internal/faults"
 	"seqver/internal/metrics"
 )
 
@@ -33,8 +34,8 @@ type Cache struct {
 	idx   map[string]*list.Element
 	dir   string
 
-	hits, misses, evictions, diskHits *metrics.Counter
-	bytesG, entriesG                  *metrics.Gauge
+	hits, misses, evictions, diskHits, corrupt *metrics.Counter
+	bytesG, entriesG                           *metrics.Gauge
 }
 
 type cacheEntry struct {
@@ -80,6 +81,8 @@ func NewCache(maxBytes int64, dir string, reg *metrics.Registry) (*Cache, error)
 			"Entries evicted from the in-memory LRU by the byte budget."),
 		diskHits: reg.Counter("seqver_cache_disk_hits_total",
 			"Cache hits promoted from the spill directory (subset of hits)."),
+		corrupt: reg.Counter("seqver_cache_corrupt_total",
+			"Corrupt or truncated spill entries deleted and treated as misses."),
 		bytesG: reg.Gauge("seqver_cache_bytes",
 			"Encoded bytes held by the in-memory result cache."),
 		entriesG: reg.Gauge("seqver_cache_entries",
@@ -127,6 +130,13 @@ func (c *Cache) Get(key string) *CachedResult {
 				c.diskHits.Inc()
 				return &v
 			}
+			// A corrupt or truncated spill entry (torn write from a crash
+			// predating the atomic-rename path, bit rot, a partial disk):
+			// delete it and treat the lookup as a miss — the engine
+			// re-derives the verdict and Put re-persists it cleanly. Never
+			// an error: cache damage must not fail jobs.
+			c.corrupt.Inc()
+			os.Remove(c.file(key))
 		}
 	}
 	c.misses.Inc()
@@ -147,11 +157,39 @@ func (c *Cache) Put(key string, v *CachedResult) {
 		return
 	}
 	if c.dir != "" && isHexKey(key) {
-		// Best-effort write-through; a read-only disk degrades the cache
-		// to memory-only rather than failing the job.
-		_ = os.WriteFile(c.file(key), data, 0o644)
+		// Best-effort write-through; a full or read-only disk degrades the
+		// cache to memory-only rather than failing the job.
+		_ = c.spill(key, data)
 	}
 	c.insert(key, v, int64(len(data)))
+}
+
+// spill persists one entry crash-safely: write a temp file in the cache
+// directory, then rename it into place. A reader (this process after a
+// SIGKILL, or a concurrent Get) can therefore never observe a
+// half-written entry — it sees the old file, the new file, or nothing.
+func (c *Cache) spill(key string, data []byte) error {
+	if faults.Fire(faults.DiskFull) {
+		return errors.New("injected spill failure (faults.disk_full)")
+	}
+	tmp, err := os.CreateTemp(c.dir, key+"-*.tmp")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), c.file(key)); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return nil
 }
 
 // insert adds or refreshes a memory entry and evicts LRU tails past the
@@ -195,6 +233,7 @@ type CacheStats struct {
 	Misses    int64  `json:"misses"`
 	Evictions int64  `json:"evictions"`
 	DiskHits  int64  `json:"disk_hits"`
+	Corrupt   int64  `json:"corrupt"`
 	Dir       string `json:"dir,omitempty"`
 }
 
@@ -207,6 +246,7 @@ func (c *Cache) Stats() CacheStats {
 		Entries: entries, Bytes: bytes, MaxBytes: c.max,
 		Hits: c.hits.Value(), Misses: c.misses.Value(),
 		Evictions: c.evictions.Value(), DiskHits: c.diskHits.Value(),
-		Dir: c.dir,
+		Corrupt: c.corrupt.Value(),
+		Dir:     c.dir,
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"path/filepath"
 	"testing"
 
+	"seqver/internal/faults"
 	"seqver/internal/metrics"
 )
 
@@ -97,6 +98,96 @@ func TestCacheDiskSpill(t *testing.T) {
 	}
 	if st = c2.Stats(); st.DiskHits != 1 {
 		t.Fatalf("memory hit counted as disk hit: %+v", st)
+	}
+}
+
+// TestCacheCorruptSpillEntry: a torn or rotted disk entry is deleted
+// and treated as a miss — cache damage degrades performance, never
+// correctness, and never fails a job.
+func TestCacheCorruptSpillEntry(t *testing.T) {
+	dir := t.TempDir()
+	reg := metrics.NewRegistry()
+	c, err := NewCache(1<<20, dir, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Put(testKey(9), decided("equivalent"))
+	path := filepath.Join(dir, testKey(9)+".json")
+	// Truncate mid-JSON: the pre-atomic-rename torn-write shape.
+	if err := os.WriteFile(path, []byte(`{"verdict":"equi`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	c2, err := NewCache(1<<20, dir, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c2.Get(testKey(9)); got != nil {
+		t.Fatalf("corrupt entry served: %+v", got)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Error("corrupt entry not deleted")
+	}
+	if st := c2.Stats(); st.Corrupt != 1 {
+		t.Fatalf("corrupt counter: %+v", st)
+	}
+	// The next Put re-persists cleanly and the entry serves again.
+	c2.Put(testKey(9), decided("equivalent"))
+	c3, err := NewCache(1<<20, dir, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c3.Get(testKey(9)) == nil {
+		t.Fatal("re-persisted entry missing")
+	}
+}
+
+// TestCacheSpillAtomic: no .tmp droppings and only whole entries in the
+// spill dir after writes; an injected disk-full degrades the cache to
+// memory-only without losing the in-memory entry.
+func TestCacheSpillAtomic(t *testing.T) {
+	dir := t.TempDir()
+	c, err := NewCache(1<<20, dir, metrics.NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		c.Put(testKey(i), decided("equivalent"))
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if filepath.Ext(e.Name()) != ".json" {
+			t.Errorf("leftover temp file in spill dir: %s", e.Name())
+		}
+	}
+	if len(entries) != 8 {
+		t.Fatalf("spill dir holds %d entries, want 8", len(entries))
+	}
+}
+
+func TestCacheDiskFullFault(t *testing.T) {
+	plan, err := faults.Parse("seed=1,disk_full=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	faults.Install(plan)
+	defer faults.Disable()
+
+	dir := t.TempDir()
+	c, err := NewCache(1<<20, dir, metrics.NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Put(testKey(1), decided("equivalent"))
+	if entries, _ := os.ReadDir(dir); len(entries) != 0 {
+		t.Fatalf("disk-full spill still wrote files: %v", entries)
+	}
+	// Memory-only degradation: the entry still serves from memory.
+	if c.Get(testKey(1)) == nil {
+		t.Fatal("entry lost when the spill failed")
 	}
 }
 

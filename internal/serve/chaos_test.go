@@ -1,0 +1,259 @@
+package serve
+
+// The chaos test is the tentpole's end-to-end proof: a daemon under
+// fault injection is SIGKILLed mid-batch and restarted over the same
+// journal directory, and the recovery invariants hold under -race:
+//
+//   1. no decided verdict observed before the kill is lost or flipped,
+//   2. every submitted job reaches a terminal status,
+//   3. the restarted daemon reports journal replay in /metrics.
+//
+// It uses the re-exec helper-process pattern: the test binary re-runs
+// itself with -test.run=^TestChaosChild$ to host the daemon in a
+// separate process the parent can SIGKILL for real — an in-process
+// "crash" cannot exercise torn tails or the O_APPEND durability model.
+
+import (
+	"context"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"testing"
+	"time"
+
+	"seqver/internal/faults"
+)
+
+// TestChaosChild is not a test: it is the daemon process the chaos
+// parent spawns. It serves until killed.
+func TestChaosChild(t *testing.T) {
+	if os.Getenv("SEQVERD_CHAOS_CHILD") != "1" {
+		t.Skip("chaos helper process (spawned by TestChaosKillRestart)")
+	}
+	dir := os.Getenv("SEQVERD_CHAOS_DIR")
+	if dir == "" {
+		t.Fatal("SEQVERD_CHAOS_DIR not set")
+	}
+	if spec := os.Getenv("SEQVERD_FAULTS"); spec != "" {
+		plan, err := faults.Parse(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		faults.Install(plan)
+	}
+	s, err := New(Options{
+		Workers:          2,
+		JournalDir:       filepath.Join(dir, "journal"),
+		CacheDir:         filepath.Join(dir, "cache"),
+		DefaultBudget:    20 * time.Second,
+		MaxAttempts:      3,
+		StallTimeout:     5 * time.Second,
+		RetryBaseBackoff: 50 * time.Millisecond,
+		RetryMaxBackoff:  300 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Publish the address atomically so the parent never reads a
+	// half-written file.
+	tmp := filepath.Join(dir, "addr.tmp")
+	if err := os.WriteFile(tmp, []byte(ln.Addr().String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, "addr")); err != nil {
+		t.Fatal(err)
+	}
+	err = http.Serve(ln, s.Handler())
+	t.Fatalf("serve returned: %v", err) // only reachable if not killed
+}
+
+type chaosJob struct {
+	req *JobRequest
+	// want is the expected decided verdict; "" means any outcome is
+	// acceptable as long as it is terminal and, if decided, stable.
+	want string
+}
+
+func chaosBatch() []chaosJob {
+	corpus := func(n string) SideSpec { return SideSpec{Corpus: n} }
+	return []chaosJob{
+		{req: &JobRequest{Golden: SideSpec{BLIF: goldenSeq}, Revised: SideSpec{BLIF: revisedSeq}}, want: "equivalent"},
+		{req: &JobRequest{Golden: SideSpec{BLIF: goldenSeq}, Revised: SideSpec{BLIF: revisedBad}}, want: "inequivalent"},
+		{req: &JobRequest{Golden: corpus("s400"), Revised: corpus("s400:synth")}, want: "equivalent"},
+		{req: &JobRequest{Golden: corpus("s1196"), Revised: corpus("s1196:synth")}, want: "equivalent"},
+		{req: &JobRequest{Golden: corpus("s1269"), Revised: corpus("s1269:synth")}, want: "equivalent"},
+		// The long pole: enough solver work that the kill lands mid-flight.
+		{req: &JobRequest{Golden: corpus("s3384"), Revised: corpus("s3384:synth"), BudgetMS: 15000}, want: "equivalent"},
+	}
+}
+
+func startChaosChild(t *testing.T, dir, faultSpec string) (*exec.Cmd, string) {
+	t.Helper()
+	os.Remove(filepath.Join(dir, "addr"))
+	cmd := exec.Command(os.Args[0], "-test.run=^TestChaosChild$", "-test.v")
+	cmd.Env = append(os.Environ(),
+		"SEQVERD_CHAOS_CHILD=1",
+		"SEQVERD_CHAOS_DIR="+dir,
+		"SEQVERD_FAULTS="+faultSpec,
+	)
+	cmd.Stdout = io.Discard
+	cmd.Stderr = io.Discard
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if cmd.Process != nil {
+			cmd.Process.Kill()
+			cmd.Wait()
+		}
+	})
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		if addr, err := os.ReadFile(filepath.Join(dir, "addr")); err == nil && len(addr) > 0 {
+			base := "http://" + string(addr)
+			// The addr file can outlive a killed child; confirm this one.
+			resp, err := http.Get(base + "/healthz")
+			if err == nil {
+				resp.Body.Close()
+				return cmd, base
+			}
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	t.Fatal("chaos child never published a live address")
+	return nil, ""
+}
+
+func metricValue(t *testing.T, base, name string) float64 {
+	t.Helper()
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatalf("/metrics: %v", err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	re := regexp.MustCompile(`(?m)^` + regexp.QuoteMeta(name) + `(?:\{[^}]*\})? ([0-9.e+-]+)$`)
+	total := 0.0
+	found := false
+	for _, m := range re.FindAllStringSubmatch(string(body), -1) {
+		v, err := strconv.ParseFloat(m[1], 64)
+		if err != nil {
+			t.Fatalf("metric %s: %v", name, err)
+		}
+		total += v
+		found = true
+	}
+	if !found {
+		return -1
+	}
+	return total
+}
+
+func TestChaosKillRestart(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos test spawns and kills daemon processes; skipped in -short")
+	}
+	dir := t.TempDir()
+	ctx, cancel := context.WithTimeout(context.Background(), 4*time.Minute)
+	defer cancel()
+
+	// Phase 1: daemon under fault injection — some attempts panic, some
+	// journal appends are torn.
+	child1, base1 := startChaosChild(t, dir, "seed=11,worker_panic=0.25,corrupt_journal=0.15")
+	c1 := &Client{Base: base1, MaxAttempts: 6, RetryBase: 50 * time.Millisecond}
+
+	batch := chaosBatch()
+	ids := make([]string, len(batch))
+	for i, cj := range batch {
+		v, err := c1.Submit(ctx, cj.req)
+		if err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+		ids[i] = v.ID
+	}
+
+	// Let the daemon decide at least two jobs so the kill provably
+	// destroys state worth preserving, then snapshot what it has decided.
+	preKill := map[string]*JobView{}
+	waitDeadline := time.Now().Add(90 * time.Second)
+	for {
+		terminal := 0
+		for _, id := range ids {
+			v, err := c1.Job(ctx, id)
+			if err != nil {
+				continue
+			}
+			if isTerminal(v.Status) {
+				terminal++
+				preKill[id] = v
+			}
+		}
+		if terminal >= 2 {
+			break
+		}
+		if time.Now().After(waitDeadline) {
+			t.Fatalf("only %d jobs terminal before kill", terminal)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	// SIGKILL: no drain, no flush, no goodbye.
+	if err := child1.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	child1.Wait()
+
+	// Phase 2: restart over the same journal and cache, faults off, and
+	// require convergence.
+	_, base2 := startChaosChild(t, dir, "")
+	c2 := &Client{Base: base2, MaxAttempts: 6, RetryBase: 50 * time.Millisecond}
+
+	if n := metricValue(t, base2, "seqverd_journal_replayed_total"); n < float64(len(preKill)) {
+		t.Errorf("seqverd_journal_replayed_total = %v, want >= %d", n, len(preKill))
+	}
+
+	for i, id := range ids {
+		v, err := c2.Wait(ctx, id)
+		if err != nil {
+			t.Fatalf("job %d (%s) after restart: %v", i, id, err)
+		}
+		if !isTerminal(v.Status) {
+			t.Errorf("job %d (%s) not terminal after restart: %s", i, id, v.Status)
+			continue
+		}
+		// Invariant 1: nothing observed decided pre-kill is lost/flipped.
+		// (An undecided pre-kill result may legitimately upgrade to a
+		// decided verdict if its record was torn and the job re-ran.)
+		if pre, ok := preKill[id]; ok && pre.Status == StatusDone {
+			if v.Status != StatusDone {
+				t.Errorf("job %d (%s): decided verdict lost across kill (%s -> %s)",
+					i, id, pre.Status, v.Status)
+				continue
+			}
+			decided := pre.Result.Verdict == "equivalent" || pre.Result.Verdict == "inequivalent"
+			if decided && v.Result.Verdict != pre.Result.Verdict {
+				t.Errorf("job %d (%s): verdict flipped across kill (%s -> %s)",
+					i, id, pre.Result.Verdict, v.Result.Verdict)
+			}
+		}
+		// Invariant 2: a decided verdict is never wrong, whichever side of
+		// the kill it landed on. (Undecided and quarantined are acceptable
+		// chaos outcomes; wrong answers are not.)
+		if v.Status == StatusDone && batch[i].want != "" &&
+			v.Result.Verdict != "undecided" && v.Result.Verdict != batch[i].want {
+			t.Errorf("job %d (%s): verdict %s, want %s", i, id, v.Result.Verdict, batch[i].want)
+		}
+	}
+}

@@ -7,17 +7,34 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"time"
 )
 
 // Client is the minimal API client behind `seqver -submit` and the
 // integration tests. It speaks exactly the documented wire schema —
 // JobRequest in, JobView out — with no daemon-side types duplicated.
+//
+// The client is resilient by default: a 503 (daemon draining or queue
+// full) is retried after the server's Retry-After hint, and transient
+// transport errors (connection refused during a restart, reset
+// mid-flight) are retried with capped exponential backoff. Submission
+// retries are safe against the daemon's idempotency key — resubmitting
+// the same pair lands on the same miter hash, so the worst case of a
+// duplicate submit is a cache hit, never a second solve of a decided
+// miter. Set MaxAttempts to 1 to disable retries.
 type Client struct {
 	// Base is the daemon's base URL, e.g. "http://127.0.0.1:7333".
 	Base string
 	// HTTP overrides the transport (nil: a client with a sane timeout).
 	HTTP *http.Client
+	// MaxAttempts bounds tries per call, including the first (default 4).
+	MaxAttempts int
+	// RetryBase/RetryMax shape the backoff between attempts:
+	// base·2^(attempt-1), capped at max, overridden by a Retry-After
+	// header when the server sends one (defaults 200ms / 5s).
+	RetryBase time.Duration
+	RetryMax  time.Duration
 }
 
 func (c *Client) http() *http.Client {
@@ -25,6 +42,79 @@ func (c *Client) http() *http.Client {
 		return c.HTTP
 	}
 	return &http.Client{Timeout: 30 * time.Second}
+}
+
+func (c *Client) retryParams() (attempts int, base, max time.Duration) {
+	attempts, base, max = c.MaxAttempts, c.RetryBase, c.RetryMax
+	if attempts <= 0 {
+		attempts = 4
+	}
+	if base <= 0 {
+		base = 200 * time.Millisecond
+	}
+	if max <= 0 {
+		max = 5 * time.Second
+	}
+	return
+}
+
+// do issues a request built by build (rebuilt per attempt — request
+// bodies are single-use), retrying transport errors and 503s. Any
+// response with another status is returned to the caller to interpret;
+// a 503 on the final attempt is returned too, so callers surface the
+// daemon's own error body rather than a generic retry failure.
+func (c *Client) do(ctx context.Context, build func() (*http.Request, error)) (*http.Response, error) {
+	attempts, base, max := c.retryParams()
+	var lastErr error
+	for attempt := 1; ; attempt++ {
+		req, err := build()
+		if err != nil {
+			return nil, err
+		}
+		resp, err := c.http().Do(req)
+		delay := base << (attempt - 1)
+		if delay > max {
+			delay = max
+		}
+		switch {
+		case err != nil:
+			lastErr = err
+		case resp.StatusCode == http.StatusServiceUnavailable && attempt < attempts:
+			// Honor the server's own pacing hint over our schedule.
+			if ra := retryAfter(resp); ra > 0 {
+				delay = ra
+				if delay > max {
+					delay = max
+				}
+			}
+			lastErr = apiErr(resp)
+			resp.Body.Close()
+		default:
+			return resp, nil
+		}
+		if attempt >= attempts {
+			return nil, lastErr
+		}
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-time.After(delay):
+		}
+	}
+}
+
+// retryAfter parses a delay-seconds Retry-After header (0 when absent
+// or unparseable).
+func retryAfter(resp *http.Response) time.Duration {
+	v := resp.Header.Get("Retry-After")
+	if v == "" {
+		return 0
+	}
+	secs, err := strconv.Atoi(v)
+	if err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
 }
 
 // apiErr decodes the daemon's error body into a Go error.
@@ -41,18 +131,21 @@ func apiErr(resp *http.Response) error {
 }
 
 // Submit posts a job and returns its initial view (status "queued").
+// 503s and transient transport errors are retried (see Client).
 func (c *Client) Submit(ctx context.Context, req *JobRequest) (*JobView, error) {
 	body, err := json.Marshal(req)
 	if err != nil {
 		return nil, err
 	}
-	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost,
-		c.Base+"/api/v1/jobs", bytes.NewReader(body))
-	if err != nil {
-		return nil, err
-	}
-	hreq.Header.Set("Content-Type", "application/json")
-	resp, err := c.http().Do(hreq)
+	resp, err := c.do(ctx, func() (*http.Request, error) {
+		hreq, err := http.NewRequestWithContext(ctx, http.MethodPost,
+			c.Base+"/api/v1/jobs", bytes.NewReader(body))
+		if err != nil {
+			return nil, err
+		}
+		hreq.Header.Set("Content-Type", "application/json")
+		return hreq, nil
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -67,14 +160,12 @@ func (c *Client) Submit(ctx context.Context, req *JobRequest) (*JobView, error) 
 	return &v, nil
 }
 
-// Job fetches a job's current view.
+// Job fetches a job's current view, retrying transient failures.
 func (c *Client) Job(ctx context.Context, id string) (*JobView, error) {
-	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet,
-		c.Base+"/api/v1/jobs/"+id, nil)
-	if err != nil {
-		return nil, err
-	}
-	resp, err := c.http().Do(hreq)
+	resp, err := c.do(ctx, func() (*http.Request, error) {
+		return http.NewRequestWithContext(ctx, http.MethodGet,
+			c.Base+"/api/v1/jobs/"+id, nil)
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -114,12 +205,10 @@ func (c *Client) Wait(ctx context.Context, id string) (*JobView, error) {
 
 // Trace fetches a job's buffered JSONL trace.
 func (c *Client) Trace(ctx context.Context, id string) ([]byte, error) {
-	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet,
-		c.Base+"/api/v1/jobs/"+id+"/trace", nil)
-	if err != nil {
-		return nil, err
-	}
-	resp, err := c.http().Do(hreq)
+	resp, err := c.do(ctx, func() (*http.Request, error) {
+		return http.NewRequestWithContext(ctx, http.MethodGet,
+			c.Base+"/api/v1/jobs/"+id+"/trace", nil)
+	})
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,166 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// flakyHandler answers the first fail requests with 503 (+Retry-After)
+// and then delegates to ok.
+func flakyHandler(fail int32, retryAfter string, ok http.Handler) (http.Handler, *atomic.Int32) {
+	var calls atomic.Int32
+	h := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= fail {
+			if retryAfter != "" {
+				w.Header().Set("Retry-After", retryAfter)
+			}
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			w.Write([]byte(`{"error":{"code":"draining","message":"daemon draining"}}`))
+			return
+		}
+		ok.ServeHTTP(w, r)
+	})
+	return h, &calls
+}
+
+func okJobView(t *testing.T) http.Handler {
+	t.Helper()
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusAccepted)
+		w.Write([]byte(`{"id":"j-ok","status":"queued","created":"2026-01-01T00:00:00Z","request":{}}`))
+	})
+}
+
+// TestClientRetries503: a submit that lands during a drain window (503
+// + Retry-After) is retried and succeeds once the daemon recovers.
+func TestClientRetries503(t *testing.T) {
+	h, calls := flakyHandler(2, "0", okJobView(t))
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	c := &Client{Base: ts.URL, MaxAttempts: 4, RetryBase: time.Millisecond, RetryMax: 10 * time.Millisecond}
+	v, err := c.Submit(context.Background(), inlineReq())
+	if err != nil {
+		t.Fatalf("submit through two 503s: %v", err)
+	}
+	if v.ID != "j-ok" || v.Status != StatusQueued {
+		t.Fatalf("view: %+v", v)
+	}
+	if n := calls.Load(); n != 3 {
+		t.Errorf("server saw %d requests, want 3 (two 503s + success)", n)
+	}
+}
+
+// TestClientRetryAfterCapped: a hostile/huge Retry-After must not stall
+// the client past its own RetryMax.
+func TestClientRetryAfterCapped(t *testing.T) {
+	h, _ := flakyHandler(1, "3600", okJobView(t))
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	c := &Client{Base: ts.URL, MaxAttempts: 2, RetryBase: time.Millisecond, RetryMax: 20 * time.Millisecond}
+	start := time.Now()
+	if _, err := c.Submit(context.Background(), inlineReq()); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("Retry-After 3600s not capped by RetryMax: waited %v", elapsed)
+	}
+}
+
+// TestClientNoRetryWhenDisabled: MaxAttempts 1 surfaces the 503 (with
+// the daemon's own error body) immediately.
+func TestClientNoRetryWhenDisabled(t *testing.T) {
+	h, calls := flakyHandler(100, "5", okJobView(t))
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	c := &Client{Base: ts.URL, MaxAttempts: 1}
+	_, err := c.Submit(context.Background(), inlineReq())
+	if err == nil || !strings.Contains(err.Error(), "draining") {
+		t.Fatalf("want the daemon's draining error, got %v", err)
+	}
+	if n := calls.Load(); n != 1 {
+		t.Errorf("server saw %d requests with retries disabled, want 1", n)
+	}
+}
+
+// failNTransport errors the first n round trips at the transport layer
+// — the connection-refused shape of a daemon mid-restart.
+type failNTransport struct {
+	n     atomic.Int32
+	fail  int32
+	inner http.RoundTripper
+}
+
+func (f *failNTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	if f.n.Add(1) <= f.fail {
+		return nil, errors.New("dial tcp: connection refused (injected)")
+	}
+	return f.inner.RoundTrip(req)
+}
+
+// TestClientRetriesTransportErrors: transient network failures are
+// retried; the poll succeeds once the daemon is back.
+func TestClientRetriesTransportErrors(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(`{"id":"j-ok","status":"done","created":"2026-01-01T00:00:00Z","request":{}}`))
+	}))
+	defer ts.Close()
+
+	tr := &failNTransport{fail: 2, inner: http.DefaultTransport}
+	c := &Client{
+		Base: ts.URL, HTTP: &http.Client{Transport: tr},
+		MaxAttempts: 4, RetryBase: time.Millisecond, RetryMax: 10 * time.Millisecond,
+	}
+	v, err := c.Job(context.Background(), "j-ok")
+	if err != nil {
+		t.Fatalf("poll through two transport errors: %v", err)
+	}
+	if v.Status != StatusDone {
+		t.Fatalf("view: %+v", v)
+	}
+
+	// Exhausted attempts surface the last transport error.
+	tr2 := &failNTransport{fail: 100, inner: http.DefaultTransport}
+	c2 := &Client{
+		Base: ts.URL, HTTP: &http.Client{Transport: tr2},
+		MaxAttempts: 2, RetryBase: time.Millisecond,
+	}
+	_, err = c2.Job(context.Background(), "j-ok")
+	if err == nil || !strings.Contains(err.Error(), "connection refused") {
+		t.Fatalf("want the transport error after exhaustion, got %v", err)
+	}
+	if n := tr2.n.Load(); n != 2 {
+		t.Errorf("transport saw %d attempts, want 2", n)
+	}
+}
+
+// TestClientRetryRespectsContext: a canceled context ends the retry
+// loop promptly instead of sleeping out the schedule.
+func TestClientRetryRespectsContext(t *testing.T) {
+	h, _ := flakyHandler(100, "5", okJobView(t))
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	c := &Client{Base: ts.URL, MaxAttempts: 10, RetryBase: 10 * time.Second, RetryMax: 10 * time.Second}
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := c.Submit(ctx, inlineReq())
+	if err == nil {
+		t.Fatal("submit succeeded against a permanently draining daemon")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("canceled retry loop took %v", elapsed)
+	}
+}

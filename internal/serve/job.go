@@ -13,13 +13,19 @@ import (
 
 // Job statuses, as they appear on the wire. The lifecycle is
 // queued -> running -> done | failed, with rejected as the terminal
-// state of a job that was still queued when the daemon drained.
+// state of a job that was still queued when the daemon drained,
+// retrying as the backoff window between a crashed/killed attempt and
+// its requeue, and quarantined as the terminal state of a job whose
+// attempts were exhausted by panics or watchdog kills (the poison-job
+// defense: it can never monopolize the pool again).
 const (
-	StatusQueued   = "queued"
-	StatusRunning  = "running"
-	StatusDone     = "done"
-	StatusFailed   = "failed"
-	StatusRejected = "rejected"
+	StatusQueued      = "queued"
+	StatusRunning     = "running"
+	StatusRetrying    = "retrying"
+	StatusDone        = "done"
+	StatusFailed      = "failed"
+	StatusRejected    = "rejected"
+	StatusQuarantined = "quarantined"
 )
 
 // SideSpec names one side of a verification pair: either an inline
@@ -151,24 +157,34 @@ type JobView struct {
 	Request  requestView `json:"request"`
 	Result   *JobResult  `json:"result,omitempty"`
 	Error    string      `json:"error,omitempty"`
+	// Attempts counts running attempts so far (> 1 after a retry).
+	Attempts int `json:"attempts,omitempty"`
+	// Recovered marks a job reconstructed from the journal after a
+	// daemon restart (its in-memory trace did not survive).
+	Recovered bool `json:"recovered,omitempty"`
 }
 
 // Job is one queued/running/finished verification. All mutable state
-// is guarded by mu; the run loop is the only writer after submission.
+// is guarded by mu; the run loop and the retry scheduler are the only
+// writers after submission.
 type Job struct {
 	ID  string
 	req *JobRequest
 	fan *fanSink // per-job trace buffer + SSE fan-out
 
-	mu       sync.Mutex
-	status   string
-	created  time.Time
-	started  time.Time
-	finished time.Time
-	result   *JobResult
-	err      string
-	cancel   context.CancelFunc // set while running
-	done     chan struct{}      // closed on any terminal status
+	mu         sync.Mutex
+	status     string
+	created    time.Time
+	started    time.Time
+	finished   time.Time
+	result     *JobResult
+	err        string
+	cancel     context.CancelFunc // set while running
+	done       chan struct{}      // closed on any terminal status
+	attempt    int                // running attempts begun (1-based once started)
+	killReason string             // watchdog verdict for the current attempt
+	key        string             // miter hash, once computed
+	recovered  bool               // reconstructed from the journal
 }
 
 func newJob(req *JobRequest, traceBytes int) (*Job, error) {
@@ -176,14 +192,20 @@ func newJob(req *JobRequest, traceBytes int) (*Job, error) {
 	if _, err := rand.Read(b[:]); err != nil {
 		return nil, fmt.Errorf("serve: job id: %w", err)
 	}
+	return newJobWithID("j-"+hex.EncodeToString(b[:]), req, traceBytes), nil
+}
+
+// newJobWithID builds a job under a fixed id — the journal replay path,
+// which must preserve the ids clients are already polling.
+func newJobWithID(id string, req *JobRequest, traceBytes int) *Job {
 	return &Job{
-		ID:      "j-" + hex.EncodeToString(b[:]),
+		ID:      id,
 		req:     req,
 		fan:     newFanSink(traceBytes),
 		status:  StatusQueued,
 		created: time.Now(),
 		done:    make(chan struct{}),
-	}, nil
+	}
 }
 
 // View snapshots the job for the wire.
@@ -202,8 +224,10 @@ func (j *Job) View() *JobView {
 			Acyclic:      j.req.Acyclic, Rewrite: j.req.Rewrite,
 			Unate: j.req.Unate, NoCache: j.req.NoCache,
 		},
-		Result: j.result,
-		Error:  j.err,
+		Result:    j.result,
+		Error:     j.err,
+		Attempts:  j.attempt,
+		Recovered: j.recovered,
 	}
 	if !j.started.IsZero() {
 		t := j.started
@@ -226,12 +250,83 @@ func (j *Job) Status() string {
 // Done is closed when the job reaches a terminal status.
 func (j *Job) Done() <-chan struct{} { return j.done }
 
-func (j *Job) setRunning(cancel context.CancelFunc) {
+// setRunning begins one attempt: bump the attempt counter, arm the
+// cancel hook, and reset the watchdog's activity clock so queued time
+// never counts toward the stall window.
+func (j *Job) setRunning(cancel context.CancelFunc) int {
 	j.mu.Lock()
 	j.status = StatusRunning
-	j.started = time.Now()
+	if j.started.IsZero() {
+		j.started = time.Now()
+	}
 	j.cancel = cancel
+	j.attempt++
+	j.killReason = ""
+	attempt := j.attempt
 	j.mu.Unlock()
+	j.fan.touch()
+	return attempt
+}
+
+// setRetrying parks the job in the backoff window after a retryable
+// failure.
+func (j *Job) setRetrying(cause string) {
+	j.mu.Lock()
+	j.status = StatusRetrying
+	j.err = cause
+	j.cancel = nil
+	j.mu.Unlock()
+}
+
+// setQueued returns a retried job to the queue state.
+func (j *Job) setQueued() {
+	j.mu.Lock()
+	j.status = StatusQueued
+	j.mu.Unlock()
+}
+
+// attempts returns how many running attempts have begun.
+func (j *Job) attempts() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.attempt
+}
+
+// kill records why the watchdog is ending the current attempt and cuts
+// its context. The first reason wins.
+func (j *Job) kill(reason string) {
+	j.mu.Lock()
+	if j.killReason == "" {
+		j.killReason = reason
+	}
+	cancel := j.cancel
+	j.mu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
+}
+
+// takeKillReason consumes the watchdog verdict for the finished
+// attempt.
+func (j *Job) takeKillReason() string {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	r := j.killReason
+	j.killReason = ""
+	return r
+}
+
+// setKey records the miter's content address once execute derives it.
+func (j *Job) setKey(key string) {
+	j.mu.Lock()
+	j.key = key
+	j.mu.Unlock()
+}
+
+func (j *Job) cacheKey() string {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.key
 }
 
 // finishAs moves the job to a terminal status. It is idempotent-hostile
@@ -256,6 +351,37 @@ func (j *Job) cancelRun() {
 	if cancel != nil {
 		cancel()
 	}
+}
+
+// journalRecords renders the job's current state as the minimal record
+// sequence that replays back to it — what compaction writes in place of
+// the full append history. Holds j.mu; callers may hold s.mu (the
+// established s.mu → j.mu order) and the journal lock.
+func (j *Job) journalRecords() []journalRecord {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	recs := []journalRecord{{
+		Op: jopSubmitted, ID: j.ID, Req: j.req, TS: j.created.UnixNano(),
+	}}
+	if j.attempt > 0 {
+		recs = append(recs, journalRecord{Op: jopStarted, ID: j.ID, Attempt: j.attempt})
+	}
+	if j.key != "" {
+		recs = append(recs, journalRecord{Op: jopKeyed, ID: j.ID, Key: j.key})
+	}
+	switch j.status {
+	case StatusDone:
+		recs = append(recs, journalRecord{Op: jopDone, ID: j.ID, Key: j.key, Result: j.result})
+	case StatusFailed:
+		recs = append(recs, journalRecord{Op: jopFailed, ID: j.ID, Error: j.err})
+	case StatusRejected:
+		recs = append(recs, journalRecord{Op: jopRejected, ID: j.ID, Error: j.err})
+	case StatusQuarantined:
+		recs = append(recs, journalRecord{Op: jopQuarantined, ID: j.ID, Error: j.err})
+	case StatusRetrying:
+		recs = append(recs, journalRecord{Op: jopRetry, ID: j.ID, Attempt: j.attempt, Error: j.err})
+	}
+	return recs
 }
 
 // exitCode maps a verdict to the CLI exit-code contract.

@@ -16,6 +16,7 @@ import (
 
 	"seqver/internal/cec"
 	"seqver/internal/core"
+	"seqver/internal/faults"
 	"seqver/internal/metrics"
 	"seqver/internal/netlist"
 	"seqver/internal/obs"
@@ -48,6 +49,37 @@ type Options struct {
 	MaxJobs int
 	// Registry receives the daemon's metric series; nil creates one.
 	Registry *metrics.Registry
+
+	// JournalDir, when non-empty, enables the durable job journal: an
+	// append-only JSONL write-ahead log of job lifecycle transitions.
+	// On startup the journal is replayed — jobs that were queued or in
+	// flight at crash time are re-enqueued (or answered straight from
+	// the result cache via their recorded miter hash), terminal jobs are
+	// restored into the history, and a torn tail is truncated away.
+	JournalDir string
+	// JournalFsync forces an fsync per journal append. Off by default:
+	// appends already survive process death (SIGKILL/OOM) without it;
+	// fsync additionally covers power loss at a per-record write cost.
+	JournalFsync bool
+	// JournalCompactBytes triggers a compaction rewrite once the journal
+	// file outgrows it (default 8 MiB).
+	JournalCompactBytes int64
+
+	// MaxAttempts caps running attempts per job (default 3). A job whose
+	// attempts are exhausted by panics or watchdog kills is quarantined.
+	MaxAttempts int
+	// StallTimeout is the per-job watchdog's stall window (default 2m):
+	// a running attempt that emits no trace events for this long is
+	// killed and retried. Negative disables the stall watchdog.
+	StallTimeout time.Duration
+	// MemCeilingBytes kills the running attempt when the process heap
+	// crosses it (0 disables). The ceiling is process-wide — Go cannot
+	// attribute heap to a job — so it is a circuit breaker, not a quota.
+	MemCeilingBytes int64
+	// RetryBaseBackoff/RetryMaxBackoff shape the retry schedule:
+	// base·2^(attempt-1) + jitter, capped at max (defaults 500ms / 30s).
+	RetryBaseBackoff time.Duration
+	RetryMaxBackoff  time.Duration
 }
 
 func (o *Options) defaults() {
@@ -78,6 +110,21 @@ func (o *Options) defaults() {
 	if o.Registry == nil {
 		o.Registry = metrics.NewRegistry()
 	}
+	if o.JournalCompactBytes <= 0 {
+		o.JournalCompactBytes = 8 << 20
+	}
+	if o.MaxAttempts <= 0 {
+		o.MaxAttempts = 3
+	}
+	if o.StallTimeout == 0 {
+		o.StallTimeout = 2 * time.Minute
+	}
+	if o.RetryBaseBackoff <= 0 {
+		o.RetryBaseBackoff = 500 * time.Millisecond
+	}
+	if o.RetryMaxBackoff <= 0 {
+		o.RetryMaxBackoff = 30 * time.Second
+	}
 }
 
 // Submission failure modes the HTTP layer maps to 503 + Retry-After.
@@ -89,16 +136,18 @@ var (
 // Server owns the queue, the worker pool, the job table, and the result
 // cache. Create with New, stop with Drain.
 type Server struct {
-	opt    Options
-	reg    *metrics.Registry
-	cache  *Cache
-	corpus *corpus
+	opt     Options
+	reg     *metrics.Registry
+	cache   *Cache
+	corpus  *corpus
+	journal *journal // nil when JournalDir is empty
 
-	mu       sync.Mutex
-	jobs     map[string]*Job
-	order    []string // submission order, for listing and retention
-	queue    chan *Job
-	draining bool
+	mu          sync.Mutex
+	jobs        map[string]*Job
+	order       []string // submission order, for listing and retention
+	queue       chan *Job
+	draining    bool
+	retryTimers map[string]*time.Timer // jobs parked in a backoff window
 
 	wg         sync.WaitGroup
 	baseCtx    context.Context
@@ -116,18 +165,35 @@ type Server struct {
 }
 
 // New starts a Server's worker pool and returns it ready to accept
-// submissions.
+// submissions. With Options.JournalDir set it first recovers from the
+// journal: terminal jobs reappear in the history, interrupted jobs are
+// re-enqueued (or answered from the result cache by their recorded
+// miter hash), over-attempted jobs are quarantined, and the journal is
+// compacted before the pool starts.
 func New(opt Options) (*Server, error) {
 	opt.defaults()
 	cache, err := NewCache(opt.CacheBytes, opt.CacheDir, opt.Registry)
 	if err != nil {
 		return nil, err
 	}
+	var jn *journal
+	var recovered []*replayedJob
+	if opt.JournalDir != "" {
+		jn, recovered, err = openJournal(opt.JournalDir, opt.JournalFsync, opt.Registry)
+		if err != nil {
+			return nil, err
+		}
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
 		opt: opt, reg: opt.Registry, cache: cache, corpus: newCorpus(),
-		jobs:  map[string]*Job{},
-		queue: make(chan *Job, opt.QueueDepth),
+		journal:     jn,
+		jobs:        map[string]*Job{},
+		retryTimers: map[string]*time.Timer{},
+		// Recovered live jobs must all fit back into the queue even when
+		// there are more of them than QueueDepth, so the buffer grows by
+		// the recovery count for this process's lifetime.
+		queue:   make(chan *Job, opt.QueueDepth+len(recovered)),
 		baseCtx: ctx, baseCancel: cancel,
 		queuedG: opt.Registry.Gauge("seqver_jobs_queued",
 			"Jobs waiting in the daemon's queue."),
@@ -136,11 +202,83 @@ func New(opt Options) (*Server, error) {
 		jobSeconds: opt.Registry.Histogram("seqver_job_seconds",
 			"Wall clock of finished jobs, submission to verdict."),
 	}
+	s.recover(recovered)
+	s.compactJournal()
 	for i := 0; i < opt.Workers; i++ {
 		s.wg.Add(1)
 		go s.worker()
 	}
 	return s, nil
+}
+
+// recover folds the replayed journal into the job table before the
+// worker pool starts (no locking needed yet, but the normal helpers
+// take the locks anyway). Recovery never re-counts jobs into the
+// seqver_jobs_total outcome counters — those events belong to the
+// process that first observed them.
+func (s *Server) recover(recovered []*replayedJob) {
+	requeued := s.reg.Counter("seqverd_journal_requeued_total",
+		"Interrupted jobs re-enqueued from the journal at startup.")
+	satisfied := s.reg.Counter("seqverd_journal_cache_satisfied_total",
+		"Interrupted jobs answered at replay from the result cache by their journaled miter hash.")
+	for _, rj := range recovered {
+		j := newJobWithID(rj.id, rj.req, s.opt.TraceBytes)
+		j.recovered = true
+		j.attempt = rj.attempts
+		j.key = rj.key
+		if !rj.created.IsZero() && rj.created.Unix() > 0 {
+			j.created = rj.created
+		}
+		s.jobs[j.ID] = j
+		s.order = append(s.order, j.ID)
+		switch {
+		case rj.terminal != "":
+			// Already terminal before the crash: restore the outcome
+			// verbatim. finishAs (not finishJob) — no re-journal, no
+			// outcome re-count.
+			j.finishAs(rj.terminal, rj.result, rj.errMsg)
+		case rj.key != "":
+			if hit := s.cache.Get(rj.key); hit != nil {
+				// The verdict this job was interrupted before recording is
+				// already content-addressed in the cache: answer it now
+				// without a solver. The journal gets a real done record.
+				satisfied.Inc()
+				s.finishJob(j, StatusDone, &JobResult{
+					Verdict: hit.Verdict, ExitCode: hit.ExitCode,
+					Method: hit.Method, Conservative: hit.Conservative,
+					Depth: hit.Depth, Outputs: hit.Outputs,
+					FailingOutput: hit.FailingOutput, Counterexample: hit.Counterexample,
+					SATCalls: hit.SATCalls,
+					Cached:   true, CacheKey: rj.key, FirstSolveNS: hit.SolveNS,
+				}, "")
+				continue
+			}
+			fallthrough
+		default:
+			if rj.attempts >= s.opt.MaxAttempts {
+				// A job that already burned its attempts (possibly crashing
+				// the daemon each time) must not get a fresh pool to wedge:
+				// quarantine it at replay.
+				s.reg.Counter("seqverd_quarantined_total",
+					"Jobs quarantined after exhausting their retry attempts.").Inc()
+				s.finishJob(j, StatusQuarantined, nil, fmt.Sprintf(
+					"quarantined at recovery after %d attempts (last: %s)",
+					rj.attempts, orUnknown(rj.errMsg)))
+				continue
+			}
+			requeued.Inc()
+			s.queue <- j // capacity reserved above; never blocks
+			s.queuedG.Add(1)
+		}
+	}
+	s.retainLocked()
+}
+
+func orUnknown(msg string) string {
+	if msg == "" {
+		return "interrupted by daemon crash"
+	}
+	return msg
 }
 
 // Registry returns the metric registry the daemon reports into.
@@ -155,7 +293,8 @@ func (s *Server) CorpusNames() []string { return s.corpus.names() }
 
 // Submit validates and enqueues a job. It fails fast — ErrDraining
 // during shutdown, ErrQueueFull past QueueDepth — rather than blocking
-// the caller.
+// the caller. The journal's submitted record is appended before the job
+// is visible, so a crash after Submit returns can never forget the job.
 func (s *Server) Submit(req *JobRequest) (*Job, error) {
 	if err := req.validate(); err != nil {
 		return nil, err
@@ -164,15 +303,25 @@ func (s *Server) Submit(req *JobRequest) (*Job, error) {
 	if err != nil {
 		return nil, err
 	}
+	s.journalAppend(journalRecord{Op: jopSubmitted, ID: j.ID, Req: req})
 	s.mu.Lock()
 	if s.draining {
 		s.mu.Unlock()
+		s.journalAppend(journalRecord{Op: jopRejected, ID: j.ID, Error: "draining"})
 		return nil, ErrDraining
+	}
+	if len(s.queue) >= s.opt.QueueDepth {
+		// Compare against QueueDepth, not channel capacity: recovery may
+		// have grown the buffer, which must not raise the admission bound.
+		s.mu.Unlock()
+		s.journalAppend(journalRecord{Op: jopRejected, ID: j.ID, Error: "queue full"})
+		return nil, ErrQueueFull
 	}
 	select {
 	case s.queue <- j:
 	default:
 		s.mu.Unlock()
+		s.journalAppend(journalRecord{Op: jopRejected, ID: j.ID, Error: "queue full"})
 		return nil, ErrQueueFull
 	}
 	s.jobs[j.ID] = j
@@ -183,6 +332,34 @@ func (s *Server) Submit(req *JobRequest) (*Job, error) {
 	s.reg.CounterL("seqver_jobs_total",
 		"Jobs accepted by the daemon, by outcome.", "outcome", "accepted").Inc()
 	return j, nil
+}
+
+// journalAppend records one lifecycle transition (no-op without a
+// journal). Callers must not hold s.mu — compaction acquires the
+// journal lock before s.mu, and appends take only the journal lock.
+func (s *Server) journalAppend(rec journalRecord) {
+	s.journal.append(rec)
+}
+
+// compactJournal rewrites the journal down to the remembered job table
+// when it has outgrown the compaction threshold (always at startup).
+// The snapshot runs under the journal lock so no append can land in the
+// doomed file while the replacement is being written.
+func (s *Server) compactJournal() {
+	if s.journal == nil {
+		return
+	}
+	s.journal.rewrite(func() []journalRecord {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		var recs []journalRecord
+		for _, id := range s.order {
+			if j := s.jobs[id]; j != nil {
+				recs = append(recs, j.journalRecords()...)
+			}
+		}
+		return recs
+	})
 }
 
 // retainLocked forgets the oldest terminal jobs past the MaxJobs
@@ -206,7 +383,11 @@ func (s *Server) retainLocked() {
 }
 
 func isTerminal(status string) bool {
-	return status == StatusDone || status == StatusFailed || status == StatusRejected
+	switch status {
+	case StatusDone, StatusFailed, StatusRejected, StatusQuarantined:
+		return true
+	}
+	return false
 }
 
 // Job returns the job with the given id, or nil.
@@ -242,15 +423,29 @@ func (s *Server) Draining() bool {
 }
 
 // Drain stops the daemon gracefully: new submissions are refused,
-// still-queued jobs finish as rejected, and in-flight jobs get up to
-// timeout to complete — past it their contexts are canceled, degrading
-// their verdicts to undecided (never a wrong answer). Drain blocks
-// until the pool is idle and is safe to call more than once.
+// still-queued jobs finish as rejected (jobs parked in retry backoff
+// likewise), and in-flight jobs get up to timeout to complete — past it
+// their contexts are canceled, degrading their verdicts to undecided
+// (never a wrong answer). Drain blocks until the pool is idle and is
+// safe to call more than once.
 func (s *Server) Drain(timeout time.Duration) {
 	s.drainOnce.Do(func() {
 		s.mu.Lock()
 		s.draining = true
+		timers := s.retryTimers
+		s.retryTimers = map[string]*time.Timer{}
 		s.mu.Unlock()
+		// Resolve the retry backlog: a stopped timer's job is rejected
+		// here; a timer that already fired resolves itself in requeue
+		// (which sees draining) or lands in the queue before close below
+		// — requeue and Submit both check draining under mu first.
+		for id, t := range timers {
+			if t.Stop() {
+				if j := s.Job(id); j != nil {
+					s.finishJob(j, StatusRejected, nil, "daemon draining during retry backoff")
+				}
+			}
+		}
 		// Safe: every send happens under mu with draining false.
 		close(s.queue)
 		done := make(chan struct{})
@@ -262,6 +457,8 @@ func (s *Server) Drain(timeout time.Duration) {
 			<-done
 		}
 		s.baseCancel()
+		s.compactJournal()
+		s.journal.close()
 	})
 }
 
@@ -275,8 +472,7 @@ func (s *Server) worker() {
 		draining := s.draining
 		s.mu.Unlock()
 		if draining {
-			s.countOutcome(StatusRejected)
-			j.finishAs(StatusRejected, nil, "daemon draining before the job started")
+			s.finishJob(j, StatusRejected, nil, "daemon draining before the job started")
 			continue
 		}
 		s.run(j)
@@ -288,41 +484,113 @@ func (s *Server) countOutcome(status string) {
 		"Jobs accepted by the daemon, by outcome.", "outcome", status).Inc()
 }
 
-// run executes one job under its own tracer: the job's fanSink receives
-// the trace (buffer + SSE), and the shared registry aggregates the
-// engine's metric events across jobs.
+// finishJob moves a job to a terminal status: journal first (a crash
+// after the append can only re-deliver the outcome, never lose it),
+// then the outcome counter, then the in-memory transition that wakes
+// waiters. Callers must not hold s.mu. A journal past its compaction
+// threshold is rewritten afterwards.
+func (s *Server) finishJob(j *Job, status string, res *JobResult, errMsg string) {
+	rec := journalRecord{Op: "", ID: j.ID, Error: errMsg}
+	switch status {
+	case StatusDone:
+		rec.Op, rec.Result, rec.Key, rec.Error = jopDone, res, j.cacheKey(), ""
+	case StatusFailed:
+		rec.Op = jopFailed
+	case StatusRejected:
+		rec.Op = jopRejected
+	case StatusQuarantined:
+		rec.Op = jopQuarantined
+	}
+	if rec.Op != "" {
+		s.journalAppend(rec)
+	}
+	s.countOutcome(status)
+	j.finishAs(status, res, errMsg)
+	if s.journal != nil && s.journal.size() > s.opt.JournalCompactBytes {
+		s.compactJournal()
+	}
+}
+
+// run executes one attempt of a job under its own tracer and watchdog:
+// the job's fanSink receives the trace (buffer + SSE), the shared
+// registry aggregates the engine's metric events across jobs, and the
+// watchdog kills the attempt on stall or memory-ceiling breach. The
+// outcome is classified here: a verdict finishes the job; a watchdog
+// kill or panic is retryable (backoff + degraded ladder, quarantine
+// past MaxAttempts); a deterministic pipeline error — bad input — fails
+// it permanently, because re-running a parse error is pure waste.
 func (s *Server) run(j *Job) {
 	s.runningG.Add(1)
 	defer s.runningG.Add(-1)
+	// A retried attempt restarts the trace: one tracer's span ids per
+	// buffer keeps the served trace schema-valid.
+	if j.attempts() > 0 {
+		j.fan.reset()
+	}
 	tr := obs.New(j.fan, metrics.NewSink(s.reg))
 	ctx := obs.WithTracer(s.baseCtx, tr)
 	ctx = metrics.WithRegistry(ctx, s.reg)
 	ctx, cancel := context.WithCancel(ctx)
-	j.setRunning(cancel)
+	attempt := j.setRunning(cancel)
+	s.journalAppend(journalRecord{Op: jopStarted, ID: j.ID, Attempt: attempt})
+	stopWatchdog := s.startWatchdog(j)
 	if s.testRunGate != nil {
 		s.testRunGate(ctx, j)
 	}
-	res, errMsg := s.execute(ctx, j)
+	res, errMsg, panicked := s.executeGuarded(ctx, j, attempt)
+	stopWatchdog()
 	cancel()
 	tr.Close() // flush the trace before subscribers see the terminal state
-	if errMsg != "" {
-		s.countOutcome(StatusFailed)
-		j.finishAs(StatusFailed, nil, errMsg)
+	kill := j.takeKillReason()
+
+	// A decided verdict always wins, even against a late watchdog kill —
+	// it is correct by construction and discarding it would be waste.
+	if errMsg == "" && res != nil && (kill == "" || res.ExitCode != 2) {
+		s.jobSeconds.Observe(res.ElapsedNS)
+		s.finishJob(j, StatusDone, res, "")
 		return
 	}
-	s.jobSeconds.Observe(res.ElapsedNS)
-	s.countOutcome(StatusDone)
-	j.finishAs(StatusDone, res, "")
+	switch {
+	case kill != "":
+		s.retryOrQuarantine(j, "watchdog kill: "+kill)
+	case panicked:
+		s.retryOrQuarantine(j, errMsg)
+	default:
+		s.finishJob(j, StatusFailed, nil, errMsg)
+	}
+}
+
+// executeGuarded wraps execute with the panic boundary and the
+// fault-injection points that model a crashing or wedged worker. The
+// returned panicked flag routes the failure into the retry path.
+func (s *Server) executeGuarded(ctx context.Context, j *Job, attempt int) (res *JobResult, errMsg string, panicked bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			res, errMsg, panicked = nil, fmt.Sprintf("worker panic: %v", r), true
+		}
+	}()
+	if faults.Fire(faults.WorkerPanic) {
+		panic("injected worker panic (faults.worker_panic)")
+	}
+	if faults.Fire(faults.SolverStall) {
+		// A wedged solver: no progress events, no return until the
+		// watchdog (or drain) cuts the context.
+		<-ctx.Done()
+		return nil, "solver stalled (faults.solver_stall)", false
+	}
+	res, errMsg = s.execute(ctx, j, attempt)
+	return res, errMsg, false
 }
 
 // execute runs the pipeline for one job: resolve both sides, reduce to
 // a combinational miter, consult the result cache by the miter's
 // structural hash, and only on a miss spend solver time. The returned
-// error string (not error) is the job's failure message.
-func (s *Server) execute(ctx context.Context, j *Job) (*JobResult, string) {
+// error string (not error) is the job's failure message. Retried
+// attempts run under degradedOptions' engine/budget ladder.
+func (s *Server) execute(ctx context.Context, j *Job, attempt int) (*JobResult, string) {
 	start := time.Now()
 	req := j.req
-	ctx, root := obs.Start(ctx, "job", obs.S("job", j.ID))
+	ctx, root := obs.Start(ctx, "job", obs.S("job", j.ID), obs.I("attempt", int64(attempt)))
 	defer root.End()
 
 	c1, err := s.resolveSide(req.Golden, "golden")
@@ -354,6 +622,11 @@ func (s *Server) execute(ctx context.Context, j *Job) (*JobResult, string) {
 		_, csp := obs.Start(ctx, "cache.lookup")
 		key, err = cec.MiterHash(u.U1, u.U2)
 		if err == nil {
+			// The miter hash is the job's idempotency key: journal it
+			// before solving so a crash mid-solve lets replay answer this
+			// job from the cache instead of re-running it.
+			j.setKey(key)
+			s.journalAppend(journalRecord{Op: jopKeyed, ID: j.ID, Key: key})
 			hit = s.cache.Get(key)
 		}
 		outcome := "miss"
@@ -377,10 +650,11 @@ func (s *Server) execute(ctx context.Context, j *Job) (*JobResult, string) {
 		}, ""
 	}
 
+	engine, budgetMS := degradedOptions(req, attempt, s.opt.DefaultBudget)
 	opt := cec.Options{
-		Engine: req.Engine, SATMode: req.SATMode,
+		Engine: engine, SATMode: req.SATMode,
 		MaxConflicts: req.MaxConflicts, Workers: req.Workers,
-		Budget: s.clampBudget(req.BudgetMS),
+		Budget: s.clampBudget(budgetMS),
 	}
 	res, err := u.CheckCtx(ctx, opt)
 	if err != nil {
@@ -422,6 +696,9 @@ func (s *Server) clampBudget(ms int64) time.Duration {
 // resolveSide materializes one side of the pair from inline BLIF or the
 // corpus.
 func (s *Server) resolveSide(spec SideSpec, side string) (*netlist.Circuit, error) {
+	if faults.Fire(faults.SlowParse) {
+		time.Sleep(faults.Delay())
+	}
 	if spec.Corpus != "" {
 		c, err := s.corpus.resolve(spec.Corpus)
 		if err != nil {

@@ -427,7 +427,9 @@ func TestQueueFull(t *testing.T) {
 	s, ts := newTestServer(t, Options{Workers: 1, QueueDepth: 1})
 	s.testRunGate = func(context.Context, *Job) { <-gate }
 	defer close(gate)
-	c := &Client{Base: ts.URL}
+	// MaxAttempts 1: this test asserts the server's queue bound; the
+	// client's own 503 retry would otherwise stall on Retry-After.
+	c := &Client{Base: ts.URL, MaxAttempts: 1}
 
 	ctx := context.Background()
 	req := &JobRequest{Golden: SideSpec{BLIF: goldenSeq}, Revised: SideSpec{BLIF: revisedSeq}, NoCache: true}

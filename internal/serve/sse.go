@@ -2,6 +2,8 @@ package serve
 
 import (
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"seqver/internal/obs"
 )
@@ -18,6 +20,11 @@ import (
 // outgrows it is truncated at the tail with Truncated set — whole lines
 // only, so what is served always parses.
 type fanSink struct {
+	// activity is the unix-nano timestamp of the job's last trace event
+	// — the watchdog's liveness signal: the engine emits throttled
+	// progress gauges while solving, so a silent job is a stalled job.
+	activity atomic.Int64
+
 	mu        sync.Mutex
 	buf       []byte
 	max       int
@@ -34,8 +41,27 @@ func newFanSink(maxBytes int) *fanSink {
 	return &fanSink{max: maxBytes, subs: map[chan []byte]struct{}{}}
 }
 
+// touch resets the liveness clock (attempt start, and every event).
+func (f *fanSink) touch() { f.activity.Store(time.Now().UnixNano()) }
+
+// reset clears the buffered trace at the start of a retried attempt, so
+// the served trace is always one tracer's schema-valid event stream.
+// Live subscribers keep their channels — they simply see the new
+// attempt's events next.
+func (f *fanSink) reset() {
+	f.mu.Lock()
+	f.buf = f.buf[:0]
+	f.truncated = false
+	f.dropped = 0
+	f.mu.Unlock()
+}
+
+// lastActivity returns the unix-nano time of the last trace event.
+func (f *fanSink) lastActivity() int64 { return f.activity.Load() }
+
 // Emit buffers and fans out one trace event.
 func (f *fanSink) Emit(ev obs.Event) {
+	f.touch()
 	line, err := obs.MarshalEvent(ev)
 	if err != nil {
 		return
