@@ -56,6 +56,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -438,7 +439,10 @@ func submitRemote(base, goldenPath, revisedPath string, req *serve.JobRequest) i
 	req.Revised = serve.SideSpec{BLIF: string(revised)}
 
 	ctx := context.Background()
-	client := &serve.Client{Base: base}
+	// Text logs on stderr at Warn: silent on the happy path, but a
+	// retried or abandoned submission says why before the exit code.
+	client := &serve.Client{Base: base, Logger: slog.New(slog.NewTextHandler(os.Stderr,
+		&slog.HandlerOptions{Level: slog.LevelWarn}))}
 	view, err := client.Submit(ctx, req)
 	if err != nil {
 		return fail(err)

@@ -12,19 +12,34 @@
 //	        [-journal-dir DIR] [-journal-fsync]
 //	        [-max-attempts N] [-stall-timeout DUR] [-mem-ceiling N]
 //	        [-drain-timeout DUR] [-trace-bytes N] [-max-body N]
+//	        [-log-level LEVEL] [-log-format FMT]
+//	        [-slo-latency SPEC] [-slo-availability PCT]
 //	        [-faults SPEC]
 //
 // The API lives under /api/v1 (submit POST /api/v1/jobs, poll
-// GET /api/v1/jobs/{id}, stream GET /api/v1/jobs/{id}/events); the same
-// listener also serves the debug surface — Prometheus /metrics
-// (including seqver_cache_{hits,misses,evictions}_total), /healthz,
-// /debug/vars, and /debug/pprof.
+// GET /api/v1/jobs/{id}, stream GET /api/v1/jobs/{id}/events, waterfall
+// GET /api/v1/jobs/{id}/report, history GET /api/v1/stats/timeseries);
+// the same listener also serves the observability surface — the live
+// /dashboard cockpit, the /readyz readiness probe, Prometheus /metrics
+// (including seqver_cache_{hits,misses,evictions}_total and, with SLOs
+// configured, seqver_slo_*_ratio burn gauges), /healthz, /debug/vars,
+// and /debug/pprof.
+//
+// Logs are structured (log/slog): -log-format json (default) or text,
+// -log-level debug|info|warn|error. Every line under a job or HTTP
+// request carries its job_id / request_id automatically, so one grep
+// follows a job across the access log and the worker lifecycle.
+//
+// -slo-latency "p99<2s" and -slo-availability "99.9" arm the SLO
+// tracker: rolling error-budget burn-rate gauges in /metrics, meters on
+// the dashboard, and status in /readyz.
 //
 // On SIGTERM or SIGINT the daemon drains: new submissions get 503 +
 // Retry-After, jobs still queued finish as "rejected", and in-flight
 // jobs get -drain-timeout to complete before their budgets are cut
 // (degrading verdicts to undecided, never to a wrong answer). A second
-// signal exits immediately.
+// signal exits immediately. /readyz flips to {"state":"draining"} the
+// moment the drain begins.
 //
 // With -journal-dir the daemon is crash-safe: every job lifecycle
 // transition is appended to a JSONL write-ahead log, and a daemon that
@@ -42,14 +57,18 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"seqver/internal/faults"
+	"seqver/internal/metrics"
+	"seqver/internal/obs"
 	"seqver/internal/serve"
 )
 
@@ -71,6 +90,10 @@ func run() int {
 	maxAttempts := flag.Int("max-attempts", 3, "running attempts per job before quarantine")
 	stallTimeout := flag.Duration("stall-timeout", 2*time.Minute, "watchdog kills a job emitting no progress events for this long (negative: off)")
 	memCeiling := flag.Int64("mem-ceiling", 0, "watchdog kills the running job when the process heap exceeds this many bytes (0: off)")
+	logLevel := flag.String("log-level", "info", "log verbosity: debug, info, warn, or error")
+	logFormat := flag.String("log-format", "json", "log encoding: json or text")
+	sloLatency := flag.String("slo-latency", "", "latency SLO, e.g. \"p99<2s\" (empty: no latency objective)")
+	sloAvailability := flag.String("slo-availability", "", "availability SLO as a percent of jobs that must decide, e.g. \"99.9\" (empty: off)")
 	faultSpec := flag.String("faults", os.Getenv("SEQVERD_FAULTS"),
 		"deterministic fault-injection spec for chaos testing, e.g. \"seed=7,worker_panic=0.2\" (default $SEQVERD_FAULTS; empty: off)")
 	flag.Parse()
@@ -79,11 +102,35 @@ func run() int {
 		flag.PrintDefaults()
 		return 3
 	}
+
+	logger, err := buildLogger(*logLevel, *logFormat)
+	if err != nil {
+		return fail(err)
+	}
+	slog.SetDefault(logger)
+
+	var objectives []metrics.Objective
+	if *sloLatency != "" {
+		o, err := metrics.ParseLatencySLO(*sloLatency)
+		if err != nil {
+			return fail(err)
+		}
+		objectives = append(objectives, o)
+	}
+	if *sloAvailability != "" {
+		o, err := metrics.ParseAvailabilitySLO(*sloAvailability)
+		if err != nil {
+			return fail(err)
+		}
+		objectives = append(objectives, o)
+	}
+
 	if plan, err := faults.Parse(*faultSpec); err != nil {
 		return fail(err)
 	} else if plan != nil {
 		faults.Install(plan)
-		fmt.Fprintf(os.Stderr, "seqverd: FAULT INJECTION ACTIVE (%s) — not a production configuration\n", plan)
+		logger.Warn("FAULT INJECTION ACTIVE — not a production configuration",
+			slog.String("plan", plan.String()))
 	}
 
 	s, err := serve.New(serve.Options{
@@ -100,6 +147,8 @@ func run() int {
 		MaxAttempts:     *maxAttempts,
 		StallTimeout:    *stallTimeout,
 		MemCeilingBytes: *memCeiling,
+		Logger:          logger,
+		Objectives:      objectives,
 	})
 	if err != nil {
 		return fail(err)
@@ -112,8 +161,10 @@ func run() int {
 	httpSrv := &http.Server{Handler: s.Handler()}
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.Serve(ln) }()
-	fmt.Fprintf(os.Stderr, "seqverd: listening on http://%s (API /api/v1, debug /metrics /healthz /debug/pprof)\n",
-		ln.Addr())
+	logger.Info("listening",
+		slog.String("addr", ln.Addr().String()),
+		slog.String("dashboard", fmt.Sprintf("http://%s/dashboard", ln.Addr())),
+		slog.Int("slo_objectives", len(objectives)))
 
 	sigc := make(chan os.Signal, 2)
 	signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT)
@@ -121,12 +172,13 @@ func run() int {
 	case err := <-errc:
 		return fail(err)
 	case sig := <-sigc:
-		fmt.Fprintf(os.Stderr, "seqverd: %v: draining (up to %v for in-flight jobs; signal again to force exit)\n",
-			sig, *drainTimeout)
+		logger.Info("signal received, draining",
+			slog.String("signal", sig.String()),
+			slog.Duration("drain_timeout", *drainTimeout))
 	}
 	go func() {
 		<-sigc
-		fmt.Fprintln(os.Stderr, "seqverd: forced exit")
+		logger.Error("forced exit on second signal")
 		os.Exit(1)
 	}()
 
@@ -134,10 +186,41 @@ func run() int {
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
 	if err := httpSrv.Shutdown(ctx); err != nil {
-		fmt.Fprintln(os.Stderr, "seqverd: shutdown:", err)
+		logger.Error("http shutdown", slog.String("error", err.Error()))
 	}
-	fmt.Fprintln(os.Stderr, "seqverd: drained")
+	logger.Info("exit")
 	return 0
+}
+
+// buildLogger assembles the daemon's logging stack: the chosen slog
+// handler on stderr wrapped in obs.NewLogHandler, which stamps every
+// record with the correlation ids (job_id, request_id) riding the
+// context as obs baggage.
+func buildLogger(level, format string) (*slog.Logger, error) {
+	var lvl slog.Level
+	switch strings.ToLower(level) {
+	case "debug":
+		lvl = slog.LevelDebug
+	case "info", "":
+		lvl = slog.LevelInfo
+	case "warn":
+		lvl = slog.LevelWarn
+	case "error":
+		lvl = slog.LevelError
+	default:
+		return nil, fmt.Errorf("unknown -log-level %q (want debug, info, warn, or error)", level)
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	var h slog.Handler
+	switch strings.ToLower(format) {
+	case "json", "":
+		h = slog.NewJSONHandler(os.Stderr, opts)
+	case "text":
+		h = slog.NewTextHandler(os.Stderr, opts)
+	default:
+		return nil, fmt.Errorf("unknown -log-format %q (want json or text)", format)
+	}
+	return slog.New(obs.NewLogHandler(h)), nil
 }
 
 func fail(err error) int {

@@ -3,6 +3,7 @@ package metrics
 import (
 	"fmt"
 	"io"
+	"math"
 	"strconv"
 	"strings"
 )
@@ -11,16 +12,30 @@ import (
 // the Prometheus text exposition format, version 0.0.4.
 const ExpositionContentType = "text/plain; version=0.0.4; charset=utf-8"
 
-// secondsScale converts raw int64 observations to the exposition unit
-// for families whose name declares seconds. Observations are recorded
-// in nanoseconds by convention (time.Duration's native unit), so a
-// *_seconds family is rescaled by 1e-9 on the way out; everything else
-// is emitted verbatim.
-func secondsScale(name string) float64 {
-	if strings.HasSuffix(name, "_seconds") {
+// nameScale converts raw int64 values to the exposition unit declared
+// by the family's name suffix. The registry stores only int64s, so
+// fractional units follow a fixed-point convention:
+//
+//   - *_seconds families are recorded in nanoseconds (time.Duration's
+//     native unit) and rescaled by 1e-9 on the way out;
+//   - *_ratio families are recorded in parts-per-million (see Ppm) and
+//     rescaled by 1e-6, so a gauge can carry an SLO error-budget
+//     fraction with µ precision;
+//   - everything else is emitted verbatim.
+func nameScale(name string) float64 {
+	switch {
+	case strings.HasSuffix(name, "_seconds"):
 		return 1e-9
+	case strings.HasSuffix(name, "_ratio"):
+		return 1e-6
 	}
 	return 1
+}
+
+// Ppm converts a fraction to the parts-per-million fixed point that
+// *_ratio families store (the exposition rescales it back to a float).
+func Ppm(fraction float64) int64 {
+	return int64(math.Round(fraction * 1e6))
 }
 
 // WriteProm writes the registry in the Prometheus text exposition
@@ -39,7 +54,7 @@ func (r *Registry) WriteProm(w io.Writer) error {
 		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.kind); err != nil {
 			return err
 		}
-		scale := secondsScale(f.name)
+		scale := nameScale(f.name)
 		for _, s := range f.seriesSorted() {
 			if err := writeSeries(w, f, s, scale); err != nil {
 				return err
@@ -52,10 +67,12 @@ func (r *Registry) WriteProm(w io.Writer) error {
 func writeSeries(w io.Writer, f *family, s *series, scale float64) error {
 	switch f.kind {
 	case KindCounter:
-		_, err := fmt.Fprintf(w, "%s%s %d\n", f.name, labelSet(f.labelKey, s.labelVal, ""), s.ctr.Value())
+		_, err := fmt.Fprintf(w, "%s%s %s\n", f.name, labelSet(f.labelKey, s.labelVal, ""),
+			formatScaled(s.ctr.Value(), scale))
 		return err
 	case KindGauge:
-		_, err := fmt.Fprintf(w, "%s%s %d\n", f.name, labelSet(f.labelKey, s.labelVal, ""), s.gauge.Value())
+		_, err := fmt.Fprintf(w, "%s%s %s\n", f.name, labelSet(f.labelKey, s.labelVal, ""),
+			formatScaled(s.gauge.Value(), scale))
 		return err
 	case KindHistogram:
 		h := s.hist
@@ -101,6 +118,16 @@ func labelSet(key, val, le string) string {
 // plain decimal where possible, no trailing garbage.
 func formatFloat(v float64) string {
 	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// formatScaled renders an int64 sample, keeping the integer form for
+// unscaled families (the common case diffs cleanly) and the float form
+// for fixed-point ones.
+func formatScaled(v int64, scale float64) string {
+	if scale == 1 {
+		return strconv.FormatInt(v, 10)
+	}
+	return formatFloat(float64(v) * scale)
 }
 
 func escapeLabel(v string) string {

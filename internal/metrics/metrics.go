@@ -206,6 +206,70 @@ func bucketUpper(i int) float64 {
 	return float64(int64(1) << uint(i))
 }
 
+// HistogramSnapshot is an immutable copy of a histogram's state, for
+// computing quantiles over a *window*: snapshot at two instants, Sub
+// them, and query the delta — the cumulative histogram never resets,
+// so this is the only way to ask "what was p99 over the last minute".
+type HistogramSnapshot struct {
+	Count   int64
+	Sum     int64
+	Buckets [histBuckets]int64
+}
+
+// Snapshot copies the histogram's current state. Each bucket is read
+// atomically; a snapshot concurrent with observations is
+// consistent-enough, matching the scrape contract. A nil histogram
+// yields the zero snapshot.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	var s HistogramSnapshot
+	if h == nil {
+		return s
+	}
+	s.Count = h.count.Load()
+	s.Sum = h.sum.Load()
+	for i := range s.Buckets {
+		s.Buckets[i] = h.buckets[i].Load()
+	}
+	return s
+}
+
+// Sub returns the windowed delta s - prev (observations recorded after
+// prev was taken). Negative per-bucket deltas — possible only when the
+// snapshots are torn against heavy concurrent writes — clamp to zero.
+func (s HistogramSnapshot) Sub(prev HistogramSnapshot) HistogramSnapshot {
+	var d HistogramSnapshot
+	for i := range s.Buckets {
+		if n := s.Buckets[i] - prev.Buckets[i]; n > 0 {
+			d.Buckets[i] = n
+			d.Count += n
+		}
+	}
+	if sum := s.Sum - prev.Sum; sum > 0 {
+		d.Sum = sum
+	}
+	return d
+}
+
+// Quantile estimates the q-quantile from the snapshot, with the same
+// conservative bucket-upper-bound semantics as Histogram.Quantile.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 || q <= 0 {
+		return 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := int64(math.Ceil(q * float64(s.Count)))
+	var cum int64
+	for i := 0; i < histBuckets; i++ {
+		cum += s.Buckets[i]
+		if cum >= target {
+			return bucketUpper(i)
+		}
+	}
+	return bucketUpper(histBuckets - 1)
+}
+
 // snapshot returns (cumulative count per bucket upper bound, count, sum)
 // for the exposition writer, skipping empty buckets.
 type bucketPoint struct {

@@ -1,0 +1,284 @@
+package metrics
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// SLO tracking: the daemon's service-level objectives, expressed as a
+// required fraction of "good" jobs, with rolling error-budget
+// accounting in the Google SRE style. Two objective shapes exist:
+//
+//   - latency: "p99<2s" — at least 99% of decided jobs must finish
+//     within 2 s, so the error budget is the 1% that may be slower;
+//   - availability: "99.9" — at least 99.9% of jobs must produce a
+//     decided verdict (a budget-exhausted undecided job, a failed job,
+//     and a quarantined job all burn budget; a drain-rejected job is
+//     load shedding and is not counted).
+//
+// The tracker keeps a per-second ring of (total, bad-per-objective)
+// buckets covering the slow window and exports three gauge families per
+// objective, all stored in ppm fixed point (the *_ratio exposition
+// convention):
+//
+//	seqver_slo_error_budget_ratio{objective}    budget left, slow window (1 = untouched, <0 = overspent)
+//	seqver_slo_burn_rate_fast_ratio{objective}  burn rate over the fast window (5 m)
+//	seqver_slo_burn_rate_slow_ratio{objective}  burn rate over the slow window (1 h)
+//
+// A burn rate of 1 consumes exactly the budget the window sustains; the
+// classic multi-window alert fires when both the fast and slow rates
+// exceed a threshold (docs/OPERATIONS.md tabulates the thresholds).
+
+// Objective is one SLO. Target is the required good fraction
+// (0 < Target < 1); ThresholdNS, when positive, makes it a latency
+// objective (good = decided and at most that slow), otherwise an
+// availability objective (good = decided).
+type Objective struct {
+	Name        string  `json:"name"`
+	Target      float64 `json:"target"`
+	ThresholdNS int64   `json:"threshold_ns,omitempty"`
+}
+
+func (o Objective) String() string {
+	if o.ThresholdNS > 0 {
+		return fmt.Sprintf("%s: p%s < %v", o.Name,
+			trimPct(o.Target*100), time.Duration(o.ThresholdNS))
+	}
+	return fmt.Sprintf("%s: %s%% decided", o.Name, trimPct(o.Target*100))
+}
+
+func trimPct(v float64) string { return strconv.FormatFloat(v, 'f', -1, 64) }
+
+// ParseLatencySLO parses the -slo-latency grammar: p<quantile><<dur>,
+// e.g. "p99<2s", "p50<250ms", "p99.9<10s". The quantile names the
+// good-fraction target directly: p99<2s demands 99% of decided jobs
+// within 2 s.
+func ParseLatencySLO(spec string) (Objective, error) {
+	s := strings.TrimSpace(spec)
+	bad := func() (Objective, error) {
+		return Objective{}, fmt.Errorf(`metrics: latency SLO %q: want p<quantile><<duration>, e.g. "p99<2s"`, spec)
+	}
+	if !strings.HasPrefix(s, "p") {
+		return bad()
+	}
+	rest := s[1:]
+	cut := strings.IndexByte(rest, '<')
+	if cut <= 0 || cut == len(rest)-1 {
+		return bad()
+	}
+	pct, err := strconv.ParseFloat(rest[:cut], 64)
+	if err != nil || pct <= 0 || pct >= 100 {
+		return bad()
+	}
+	d, err := time.ParseDuration(rest[cut+1:])
+	if err != nil || d <= 0 {
+		return bad()
+	}
+	return Objective{
+		Name:        "latency_p" + strings.ReplaceAll(trimPct(pct), ".", "_"),
+		Target:      pct / 100,
+		ThresholdNS: d.Nanoseconds(),
+	}, nil
+}
+
+// ParseAvailabilitySLO parses the -slo-availability grammar: a percent
+// like "99.9".
+func ParseAvailabilitySLO(spec string) (Objective, error) {
+	pct, err := strconv.ParseFloat(strings.TrimSpace(spec), 64)
+	if err != nil || pct <= 0 || pct >= 100 {
+		return Objective{}, fmt.Errorf(`metrics: availability SLO %q: want a percent in (0,100), e.g. "99.9"`, spec)
+	}
+	return Objective{Name: "availability", Target: pct / 100}, nil
+}
+
+// sloBucket is one second of outcomes.
+type sloBucket struct {
+	sec   int64   // unix second this bucket currently holds
+	total int64   // jobs observed in this second
+	bad   []int64 // per objective, budget-burning jobs in this second
+}
+
+// SLOTracker accumulates per-job outcomes and maintains the burn-rate
+// gauges. A nil tracker is the "no objectives" tracker: every method
+// returns immediately, so call sites never branch.
+type SLOTracker struct {
+	objectives []Objective
+	fastSec    int64
+	slowSec    int64
+
+	budget   []*Gauge
+	burnFast []*Gauge
+	burnSlow []*Gauge
+
+	mu   sync.Mutex
+	ring []sloBucket
+}
+
+// NewSLOTracker registers the gauges for the given objectives and
+// returns a tracker whose burn windows are fast and slow (defaults
+// 5 m / 1 h). With no objectives it returns nil — the no-op tracker.
+func NewSLOTracker(reg *Registry, objectives []Objective, fast, slow time.Duration) *SLOTracker {
+	if len(objectives) == 0 {
+		return nil
+	}
+	if fast <= 0 {
+		fast = 5 * time.Minute
+	}
+	if slow <= fast {
+		slow = time.Hour
+	}
+	t := &SLOTracker{
+		objectives: objectives,
+		fastSec:    int64(fast / time.Second),
+		slowSec:    int64(slow / time.Second),
+		ring:       make([]sloBucket, int(slow/time.Second)),
+	}
+	for i := range t.ring {
+		t.ring[i] = sloBucket{sec: -1, bad: make([]int64, len(objectives))}
+	}
+	for _, o := range objectives {
+		t.budget = append(t.budget, reg.GaugeL("seqver_slo_error_budget_ratio",
+			"Error budget remaining over the slow burn window, by objective (1 = untouched, negative = overspent).",
+			"objective", o.Name))
+		t.burnFast = append(t.burnFast, reg.GaugeL("seqver_slo_burn_rate_fast_ratio",
+			"Error-budget burn rate over the fast window, by objective (1 = consuming exactly the sustainable rate).",
+			"objective", o.Name))
+		t.burnSlow = append(t.burnSlow, reg.GaugeL("seqver_slo_burn_rate_slow_ratio",
+			"Error-budget burn rate over the slow window, by objective.",
+			"objective", o.Name))
+	}
+	t.recompute(time.Now().Unix())
+	return t
+}
+
+// Objectives returns the tracked objectives (nil on the nil tracker).
+func (t *SLOTracker) Objectives() []Objective {
+	if t == nil {
+		return nil
+	}
+	return t.objectives
+}
+
+// Observe records one finished job: its wall clock and whether it
+// produced a decided verdict. Gauges update immediately, so a single
+// budget-exhausted job moves the burn rate on the next scrape.
+func (t *SLOTracker) Observe(latencyNS int64, decided bool) {
+	t.observeAt(time.Now().Unix(), latencyNS, decided)
+}
+
+func (t *SLOTracker) observeAt(sec, latencyNS int64, decided bool) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	b := &t.ring[sec%int64(len(t.ring))]
+	if b.sec != sec {
+		b.sec, b.total = sec, 0
+		for i := range b.bad {
+			b.bad[i] = 0
+		}
+	}
+	b.total++
+	for i, o := range t.objectives {
+		if !decided || (o.ThresholdNS > 0 && latencyNS > o.ThresholdNS) {
+			b.bad[i]++
+		}
+	}
+	t.recomputeLocked(sec)
+	t.mu.Unlock()
+}
+
+// Tick re-evaluates the gauges without an observation — the windows
+// slide with the clock, so burn rates decay as bad seconds age out.
+// The daemon's sampler goroutine calls this once per second.
+func (t *SLOTracker) Tick() {
+	t.recompute(time.Now().Unix())
+}
+
+func (t *SLOTracker) recompute(sec int64) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.recomputeLocked(sec)
+	t.mu.Unlock()
+}
+
+func (t *SLOTracker) recomputeLocked(sec int64) {
+	nObj := len(t.objectives)
+	fastTotal, slowTotal := int64(0), int64(0)
+	fastBad := make([]int64, nObj)
+	slowBad := make([]int64, nObj)
+	for i := range t.ring {
+		b := &t.ring[i]
+		age := sec - b.sec
+		if b.sec < 0 || age < 0 || age >= t.slowSec {
+			continue
+		}
+		slowTotal += b.total
+		for j := 0; j < nObj; j++ {
+			slowBad[j] += b.bad[j]
+		}
+		if age < t.fastSec {
+			fastTotal += b.total
+			for j := 0; j < nObj; j++ {
+				fastBad[j] += b.bad[j]
+			}
+		}
+	}
+	for j, o := range t.objectives {
+		budgetFrac := 1 - o.Target
+		fast := burnRate(fastBad[j], fastTotal, budgetFrac)
+		slow := burnRate(slowBad[j], slowTotal, budgetFrac)
+		t.burnFast[j].Set(Ppm(fast))
+		t.burnSlow[j].Set(Ppm(slow))
+		t.budget[j].Set(Ppm(1 - slow))
+	}
+}
+
+// burnRate is (bad fraction) / (budget fraction): the rate at which the
+// window consumed its error budget relative to the sustainable rate.
+// An empty window burns nothing.
+func burnRate(bad, total int64, budgetFrac float64) float64 {
+	if total == 0 || budgetFrac <= 0 {
+		return 0
+	}
+	return (float64(bad) / float64(total)) / budgetFrac
+}
+
+// ObjectiveStatus is one objective's live accounting, for /readyz and
+// the dashboard.
+type ObjectiveStatus struct {
+	Objective
+	Spec              string  `json:"spec"`
+	BudgetRemaining   float64 `json:"error_budget_remaining"`
+	BurnRateFast      float64 `json:"burn_rate_fast"`
+	BurnRateSlow      float64 `json:"burn_rate_slow"`
+	WindowFastSeconds int64   `json:"window_fast_seconds"`
+	WindowSlowSeconds int64   `json:"window_slow_seconds"`
+}
+
+// Status snapshots every objective (nil on the nil tracker). Gauge
+// values are read back from the registry handles, so what Status
+// reports is exactly what /metrics exposes.
+func (t *SLOTracker) Status() []ObjectiveStatus {
+	if t == nil {
+		return nil
+	}
+	out := make([]ObjectiveStatus, len(t.objectives))
+	for i, o := range t.objectives {
+		out[i] = ObjectiveStatus{
+			Objective:         o,
+			Spec:              o.String(),
+			BudgetRemaining:   float64(t.budget[i].Value()) / 1e6,
+			BurnRateFast:      float64(t.burnFast[i].Value()) / 1e6,
+			BurnRateSlow:      float64(t.burnSlow[i].Value()) / 1e6,
+			WindowFastSeconds: t.fastSec,
+			WindowSlowSeconds: t.slowSec,
+		}
+	}
+	return out
+}

@@ -1,0 +1,141 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseLatencySLO(t *testing.T) {
+	o, err := ParseLatencySLO("p99<2s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Name != "latency_p99" || o.Target != 0.99 || o.ThresholdNS != (2*time.Second).Nanoseconds() {
+		t.Fatalf("p99<2s = %+v", o)
+	}
+	o, err = ParseLatencySLO(" p99.9<250ms ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Name != "latency_p99_9" || math.Abs(o.Target-0.999) > 1e-12 {
+		t.Fatalf("p99.9<250ms = %+v", o)
+	}
+	for _, bad := range []string{"", "p99", "99<2s", "p0<2s", "p100<2s", "p99<", "p99<zonk", "p99<-1s"} {
+		if _, err := ParseLatencySLO(bad); err == nil {
+			t.Fatalf("ParseLatencySLO(%q) accepted", bad)
+		}
+	}
+}
+
+func TestParseAvailabilitySLO(t *testing.T) {
+	o, err := ParseAvailabilitySLO("99.9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Name != "availability" || math.Abs(o.Target-0.999) > 1e-12 || o.ThresholdNS != 0 {
+		t.Fatalf("99.9 = %+v", o)
+	}
+	for _, bad := range []string{"", "0", "100", "-5", "fast"} {
+		if _, err := ParseAvailabilitySLO(bad); err == nil {
+			t.Fatalf("ParseAvailabilitySLO(%q) accepted", bad)
+		}
+	}
+}
+
+func TestSLOTrackerBurnsOnUndecided(t *testing.T) {
+	reg := NewRegistry()
+	lat, _ := ParseLatencySLO("p99<2s")
+	avail, _ := ParseAvailabilitySLO("99.9")
+	tr := NewSLOTracker(reg, []Objective{lat, avail}, 5*time.Minute, time.Hour)
+
+	now := int64(1_000_000)
+	// Nine fast decided jobs: no budget burned.
+	for i := 0; i < 9; i++ {
+		tr.observeAt(now, (50 * time.Millisecond).Nanoseconds(), true)
+	}
+	budget := reg.GaugeL("seqver_slo_error_budget_ratio", "", "objective", "availability")
+	if got := budget.Value(); got != Ppm(1) {
+		t.Fatalf("availability budget after good jobs = %d ppm, want %d", got, Ppm(1))
+	}
+
+	// One budget-exhausted undecided job lands: both objectives burn —
+	// availability because the verdict is undecided, latency because a
+	// job that exhausted a >2s budget is also slow.
+	tr.observeAt(now, (3 * time.Second).Nanoseconds(), false)
+	if got := budget.Value(); got >= Ppm(1) {
+		t.Fatalf("availability budget did not move on an undecided job: %d ppm", got)
+	}
+	// 1 bad in 10 against a 0.1% budget: burn rate 100x, budget 1-100.
+	burn := reg.GaugeL("seqver_slo_burn_rate_slow_ratio", "", "objective", "availability")
+	if got := burn.Value(); got != Ppm(100) {
+		t.Fatalf("availability slow burn = %d ppm, want %d (100x)", got, Ppm(100))
+	}
+	latBurn := reg.GaugeL("seqver_slo_burn_rate_fast_ratio", "", "objective", "latency_p99")
+	if got := latBurn.Value(); got != Ppm(10) {
+		t.Fatalf("latency fast burn = %d ppm, want %d (1 slow in 10 against 1%% budget)", got, Ppm(10))
+	}
+
+	// The bad second ages out of the fast window but not the slow one.
+	tr.recompute(now + 6*60)
+	if got := latBurn.Value(); got != 0 {
+		t.Fatalf("latency fast burn after window slide = %d ppm, want 0", got)
+	}
+	if got := burn.Value(); got != Ppm(100) {
+		t.Fatalf("availability slow burn after 6m = %d ppm, want unchanged %d", got, Ppm(100))
+	}
+	tr.recompute(now + 2*3600)
+	if got := burn.Value(); got != 0 {
+		t.Fatalf("availability slow burn after 2h = %d ppm, want 0", got)
+	}
+	if got := budget.Value(); got != Ppm(1) {
+		t.Fatalf("availability budget after 2h = %d ppm, want fully restored", got)
+	}
+}
+
+func TestSLOTrackerStatusAndExposition(t *testing.T) {
+	reg := NewRegistry()
+	lat, _ := ParseLatencySLO("p99<2s")
+	tr := NewSLOTracker(reg, []Objective{lat}, 0, 0) // default windows
+	tr.observeAt(2000, (5 * time.Second).Nanoseconds(), true)
+
+	st := tr.Status()
+	if len(st) != 1 {
+		t.Fatalf("status = %+v", st)
+	}
+	if st[0].BurnRateSlow != 100 || st[0].BudgetRemaining != -99 {
+		t.Fatalf("status accounting = %+v", st[0])
+	}
+	if st[0].WindowFastSeconds != 300 || st[0].WindowSlowSeconds != 3600 {
+		t.Fatalf("default windows = %+v", st[0])
+	}
+	if !strings.Contains(st[0].Spec, "p99 < 2s") {
+		t.Fatalf("spec = %q", st[0].Spec)
+	}
+
+	// The ppm fixed point must expose as a plain ratio.
+	var b strings.Builder
+	if err := reg.WriteProm(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	want := `seqver_slo_error_budget_ratio{objective="latency_p99"} -99`
+	if !strings.Contains(out, want) {
+		t.Fatalf("exposition missing %q:\n%s", want, out)
+	}
+	if !strings.Contains(out, `seqver_slo_burn_rate_slow_ratio{objective="latency_p99"} 100`) {
+		t.Fatalf("exposition missing slow burn:\n%s", out)
+	}
+
+	// Nil-tracker contract.
+	var nilT *SLOTracker
+	nilT.Observe(1, true)
+	nilT.Tick()
+	if nilT.Status() != nil || nilT.Objectives() != nil {
+		t.Fatal("nil tracker must return nils")
+	}
+	if NewSLOTracker(reg, nil, 0, 0) != nil {
+		t.Fatal("no objectives must yield the nil tracker")
+	}
+}

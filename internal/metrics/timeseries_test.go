@@ -1,0 +1,208 @@
+package metrics
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistogramQuantileEdgeCases(t *testing.T) {
+	t.Run("empty", func(t *testing.T) {
+		h := &Histogram{}
+		if q := h.Quantile(0.99); q != 0 {
+			t.Fatalf("empty Quantile(0.99) = %v, want 0", q)
+		}
+		p50, p90, p99 := h.Summary()
+		if p50 != 0 || p90 != 0 || p99 != 0 {
+			t.Fatalf("empty Summary = %v %v %v, want zeros", p50, p90, p99)
+		}
+		var nilH *Histogram
+		if q := nilH.Quantile(0.5); q != 0 {
+			t.Fatalf("nil Quantile = %v, want 0", q)
+		}
+	})
+
+	t.Run("single-bucket", func(t *testing.T) {
+		h := &Histogram{}
+		for i := 0; i < 100; i++ {
+			h.Observe(700) // all land in the (512,1024] bucket
+		}
+		for _, q := range []float64{0.01, 0.5, 0.99, 1} {
+			if got := h.Quantile(q); got != 1024 {
+				t.Fatalf("Quantile(%v) = %v, want 1024 (single bucket upper bound)", q, got)
+			}
+		}
+		p50, p90, p99 := h.Summary()
+		if p50 != 1024 || p90 != 1024 || p99 != 1024 {
+			t.Fatalf("Summary = %v %v %v, want all 1024", p50, p90, p99)
+		}
+	})
+
+	t.Run("all-in-last-bucket", func(t *testing.T) {
+		h := &Histogram{}
+		h.Observe(math.MaxInt64)
+		h.Observe(math.MaxInt64 - 1)
+		if got := h.Quantile(0.5); got != float64(math.MaxInt64) {
+			t.Fatalf("Quantile(0.5) = %v, want MaxInt64 (last-bucket saturation)", got)
+		}
+		if h.Count() != 2 {
+			t.Fatalf("Count = %d, want 2", h.Count())
+		}
+	})
+
+	t.Run("quantile-bounds", func(t *testing.T) {
+		h := &Histogram{}
+		h.Observe(10)
+		if got := h.Quantile(0); got != 0 {
+			t.Fatalf("Quantile(0) = %v, want 0", got)
+		}
+		if got := h.Quantile(-1); got != 0 {
+			t.Fatalf("Quantile(-1) = %v, want 0", got)
+		}
+		if got := h.Quantile(2); got != 16 {
+			t.Fatalf("Quantile(2) = %v, want clamped-to-1 result 16", got)
+		}
+	})
+}
+
+func TestHistogramSnapshotDelta(t *testing.T) {
+	h := &Histogram{}
+	h.Observe(100)
+	h.Observe(100)
+	before := h.Snapshot()
+	h.Observe(1 << 20)
+	h.Observe(1 << 20)
+	h.Observe(1 << 20)
+	delta := h.Snapshot().Sub(before)
+	if delta.Count != 3 {
+		t.Fatalf("delta count = %d, want 3", delta.Count)
+	}
+	// The two old 100 ns observations must not drag the windowed p50.
+	if got := delta.Quantile(0.5); got != 1<<20 {
+		t.Fatalf("delta Quantile(0.5) = %v, want %v", got, 1<<20)
+	}
+	if got := h.Quantile(0.4); got != 128 {
+		t.Fatalf("cumulative Quantile(0.4) = %v, want 128", got)
+	}
+	if empty := before.Sub(h.Snapshot()); empty.Count != 0 {
+		t.Fatalf("reversed Sub must clamp to zero, got count %d", empty.Count)
+	}
+}
+
+func TestTimeSeriesWraparound(t *testing.T) {
+	ts := NewTimeSeries(4, time.Second)
+	for i := 1; i <= 7; i++ {
+		ts.Record(Sample{TS: int64(i)})
+	}
+	if ts.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", ts.Len())
+	}
+	got := ts.Window(0)
+	if len(got) != 4 {
+		t.Fatalf("full window = %d samples, want 4", len(got))
+	}
+	for i, want := range []int64{4, 5, 6, 7} {
+		if got[i].TS != want {
+			t.Fatalf("window[%d].TS = %d, want %d (oldest-first after wrap)", i, got[i].TS, want)
+		}
+	}
+}
+
+func TestTimeSeriesWindowClamp(t *testing.T) {
+	ts := NewTimeSeries(10, time.Second)
+	for i := 1; i <= 3; i++ {
+		ts.Record(Sample{TS: int64(i)})
+	}
+	cases := []struct {
+		window time.Duration
+		want   []int64
+	}{
+		{2 * time.Second, []int64{2, 3}},
+		{time.Hour, []int64{1, 2, 3}}, // over-large clamps to retained
+		{0, []int64{1, 2, 3}},         // non-positive = everything
+		{-time.Second, []int64{1, 2, 3}},
+		{time.Millisecond, []int64{3}}, // sub-interval clamps to one sample
+	}
+	for _, c := range cases {
+		got := ts.Window(c.window)
+		if len(got) != len(c.want) {
+			t.Fatalf("Window(%v) = %d samples, want %d", c.window, len(got), len(c.want))
+		}
+		for i := range got {
+			if got[i].TS != c.want[i] {
+				t.Fatalf("Window(%v)[%d].TS = %d, want %d", c.window, i, got[i].TS, c.want[i])
+			}
+		}
+	}
+	if got := NewTimeSeries(5, time.Second).Window(time.Minute); len(got) != 0 {
+		t.Fatalf("empty ring window = %d samples, want 0", len(got))
+	}
+}
+
+// TestTimeSeriesConcurrent exercises the ring under -race: one writer
+// (mirroring the sampler goroutine) against concurrent readers.
+func TestTimeSeriesConcurrent(t *testing.T) {
+	ts := NewTimeSeries(64, time.Second)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 2000; i++ {
+			ts.Record(Sample{TS: int64(i), QueueDepth: int64(i % 7)})
+		}
+		close(stop)
+	}()
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				w := ts.Window(30 * time.Second)
+				for i := 1; i < len(w); i++ {
+					if w[i].TS < w[i-1].TS {
+						t.Errorf("window out of order: %d before %d", w[i-1].TS, w[i].TS)
+						return
+					}
+				}
+				_ = ts.Len()
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestSamplerDrainsOnStop(t *testing.T) {
+	ts := NewTimeSeries(100, 10*time.Millisecond)
+	var mu sync.Mutex
+	calls := 0
+	s := StartSampler(ts, func(time.Time) Sample {
+		mu.Lock()
+		calls++
+		n := calls
+		mu.Unlock()
+		return Sample{TS: int64(n)}
+	})
+	time.Sleep(35 * time.Millisecond)
+	s.Stop()
+	s.Stop() // idempotent
+	mu.Lock()
+	n := calls
+	mu.Unlock()
+	if n < 2 {
+		t.Fatalf("collect calls = %d, want >= 2 (ticker + final drain)", n)
+	}
+	// The final drain sample must be the last row recorded.
+	w := ts.Window(0)
+	if len(w) == 0 || w[len(w)-1].TS != int64(n) {
+		t.Fatalf("last sample TS = %v, want %d (the drain sample)", w, n)
+	}
+	var nilS *Sampler
+	nilS.Stop()
+}

@@ -1,0 +1,94 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// DecodeJSONL parses a JSONL trace (the wireEvent schema MarshalEvent
+// and JSONLSink emit) back into Events — the inverse of the encode
+// path, for consumers that fold a stored trace into a derived view
+// (the daemon's per-job hardness report). It is deliberately lenient
+// where ValidateJSONL is strict: lines are decoded independently, so a
+// tail-truncated trace still yields every complete line, and span
+// lifecycle violations are the caller's concern. A malformed line is a
+// hard error; run ValidateJSONL first when schema cleanliness matters.
+//
+// Attribute ordering inside a line is not preserved by JSON maps, so
+// decoded Attrs are sorted by key for deterministic folding.
+func DecodeJSONL(r io.Reader) ([]Event, error) {
+	var out []Event
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var ev wireEvent
+		if err := json.Unmarshal(raw, &ev); err != nil {
+			return nil, fmt.Errorf("obs: decode line %d: %w", line, err)
+		}
+		out = append(out, Event{
+			Type: ev.Type, TS: ev.TS, Span: ev.Span, Parent: ev.Parent,
+			Name: ev.Name, Dur: ev.Dur, Value: ev.Value, Attrs: attrsOf(ev.Attrs),
+		})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// attrsOf converts a decoded attrs map back to the in-memory form.
+// JSON numbers arrive as float64; integral values are restored as Int
+// attrs, everything else is stringified.
+func attrsOf(m map[string]any) []Attr {
+	if len(m) == 0 {
+		return nil
+	}
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]Attr, 0, len(keys))
+	for _, k := range keys {
+		switch v := m[k].(type) {
+		case string:
+			out = append(out, S(k, v))
+		case float64:
+			out = append(out, I(k, int64(v)))
+		default:
+			out = append(out, S(k, fmt.Sprint(v)))
+		}
+	}
+	return out
+}
+
+// AttrStr returns the string value of the named attribute ("" when
+// absent or integer-valued).
+func AttrStr(attrs []Attr, key string) string {
+	for _, a := range attrs {
+		if a.Key == key && a.IsStr {
+			return a.Str
+		}
+	}
+	return ""
+}
+
+// AttrInt returns the integer value of the named attribute (0 when
+// absent or string-valued).
+func AttrInt(attrs []Attr, key string) int64 {
+	for _, a := range attrs {
+		if a.Key == key && !a.IsStr {
+			return a.Int
+		}
+	}
+	return 0
+}

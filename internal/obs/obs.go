@@ -127,6 +127,34 @@ func (t *Tracer) emit(ev Event) {
 
 type tracerKey struct{}
 type spanKey struct{}
+type baggageKey struct{}
+
+// WithBaggage returns a context carrying correlation attributes —
+// job_id, request_id — that are stamped automatically onto every span
+// begin started beneath it and onto every slog record logged through a
+// LogHandler. Baggage accumulates: attrs from an outer WithBaggage are
+// kept and the new ones appended. Keep it to a handful of low-
+// cardinality identifiers; every stamped event carries a copy.
+func WithBaggage(ctx context.Context, attrs ...Attr) context.Context {
+	if len(attrs) == 0 {
+		return ctx
+	}
+	prev := BaggageFrom(ctx)
+	merged := make([]Attr, 0, len(prev)+len(attrs))
+	merged = append(merged, prev...)
+	merged = append(merged, attrs...)
+	return context.WithValue(ctx, baggageKey{}, merged)
+}
+
+// BaggageFrom returns the context's correlation attributes (nil when
+// none are installed). Callers must not mutate the returned slice.
+func BaggageFrom(ctx context.Context) []Attr {
+	if ctx == nil {
+		return nil
+	}
+	bg, _ := ctx.Value(baggageKey{}).([]Attr)
+	return bg
+}
 
 // WithTracer returns a context carrying the tracer. Spans started from
 // the returned context (and its descendants) are roots of the trace.
@@ -203,6 +231,15 @@ func startInfo(ctx context.Context) (*Tracer, uint64) {
 }
 
 func startSpan(ctx context.Context, t *Tracer, parent uint64, name string, attrs []Attr) (context.Context, *Span) {
+	// Correlation baggage rides every begin event, so a job's spans can
+	// be joined against its log lines by attribute alone. The lookup
+	// happens only once a tracer is known to be installed, preserving
+	// the no-tracer zero-allocation contract.
+	if bg := BaggageFrom(ctx); len(bg) > 0 {
+		merged := make([]Attr, 0, len(attrs)+len(bg))
+		merged = append(merged, attrs...)
+		attrs = append(merged, bg...)
+	}
 	sp := &Span{t: t, id: t.nextID.Add(1), parent: parent, name: name, start: t.now()}
 	t.emit(Event{Type: EvBegin, TS: sp.start, Span: sp.id, Parent: parent, Name: name, Attrs: attrs})
 	return context.WithValue(ctx, spanKey{}, sp), sp

@@ -1,0 +1,57 @@
+package obs
+
+import (
+	"context"
+	"log/slog"
+)
+
+// LogHandler is the correlated-logging half of the baggage contract: a
+// slog.Handler wrapper that stamps the context's baggage attributes
+// (see WithBaggage) onto every record it handles. Logging through a
+// context that carries job_id therefore produces lines that join
+// against the same job's span attributes with no call-site effort —
+// the call site just uses the ctx-aware slog methods (InfoContext and
+// friends).
+type LogHandler struct {
+	inner slog.Handler
+}
+
+// NewLogHandler wraps inner so records pick up context baggage.
+func NewLogHandler(inner slog.Handler) LogHandler {
+	return LogHandler{inner: inner}
+}
+
+// NewLogger is the one-call form: a *slog.Logger whose records are
+// stamped with context baggage before reaching inner.
+func NewLogger(inner slog.Handler) *slog.Logger {
+	return slog.New(NewLogHandler(inner))
+}
+
+// Enabled defers to the wrapped handler.
+func (h LogHandler) Enabled(ctx context.Context, level slog.Level) bool {
+	return h.inner.Enabled(ctx, level)
+}
+
+// Handle appends the context's baggage attrs to the record, then
+// delegates. The record is cloned by value per slog's contract, so the
+// caller's record is untouched.
+func (h LogHandler) Handle(ctx context.Context, r slog.Record) error {
+	for _, a := range BaggageFrom(ctx) {
+		if a.IsStr {
+			r.AddAttrs(slog.String(a.Key, a.Str))
+		} else {
+			r.AddAttrs(slog.Int64(a.Key, a.Int))
+		}
+	}
+	return h.inner.Handle(ctx, r)
+}
+
+// WithAttrs keeps the wrapper on the derived handler.
+func (h LogHandler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	return LogHandler{inner: h.inner.WithAttrs(attrs)}
+}
+
+// WithGroup keeps the wrapper on the derived handler.
+func (h LogHandler) WithGroup(name string) slog.Handler {
+	return LogHandler{inner: h.inner.WithGroup(name)}
+}

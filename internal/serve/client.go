@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"strconv"
 	"time"
@@ -35,7 +36,27 @@ type Client struct {
 	// header when the server sends one (defaults 200ms / 5s).
 	RetryBase time.Duration
 	RetryMax  time.Duration
+	// Logger receives one Warn line per retried attempt and an Error
+	// line on final give-up (nil: silent, the historical behavior).
+	Logger *slog.Logger
 }
+
+func (c *Client) logger() *slog.Logger {
+	if c.Logger != nil {
+		return c.Logger
+	}
+	return slog.New(discardHandler{})
+}
+
+// discardHandler drops every record without formatting it — unlike a
+// TextHandler on io.Discard, Enabled is false so disabled log calls
+// cost nothing on the retry path.
+type discardHandler struct{}
+
+func (discardHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (discardHandler) Handle(context.Context, slog.Record) error { return nil }
+func (d discardHandler) WithAttrs([]slog.Attr) slog.Handler      { return d }
+func (d discardHandler) WithGroup(string) slog.Handler           { return d }
 
 func (c *Client) http() *http.Client {
 	if c.HTTP != nil {
@@ -66,6 +87,7 @@ func (c *Client) retryParams() (attempts int, base, max time.Duration) {
 func (c *Client) do(ctx context.Context, build func() (*http.Request, error)) (*http.Response, error) {
 	attempts, base, max := c.retryParams()
 	var lastErr error
+	var lastRetryAfter time.Duration // the most recent server hint honored
 	for attempt := 1; ; attempt++ {
 		req, err := build()
 		if err != nil {
@@ -86,6 +108,7 @@ func (c *Client) do(ctx context.Context, build func() (*http.Request, error)) (*
 				if delay > max {
 					delay = max
 				}
+				lastRetryAfter = delay
 			}
 			lastErr = apiErr(resp)
 			resp.Body.Close()
@@ -93,8 +116,23 @@ func (c *Client) do(ctx context.Context, build func() (*http.Request, error)) (*
 			return resp, nil
 		}
 		if attempt >= attempts {
-			return nil, lastErr
+			err := fmt.Errorf("daemon: giving up after %d attempts: %w", attempts, lastErr)
+			if lastRetryAfter > 0 {
+				err = fmt.Errorf("daemon: giving up after %d attempts (last honored Retry-After: %v): %w",
+					attempts, lastRetryAfter, lastErr)
+			}
+			c.logger().LogAttrs(ctx, slog.LevelError, "request abandoned",
+				slog.String("url", req.URL.String()),
+				slog.Int("attempts", attempts),
+				slog.Duration("last_retry_after", lastRetryAfter),
+				slog.String("error", lastErr.Error()))
+			return nil, err
 		}
+		c.logger().LogAttrs(ctx, slog.LevelWarn, "retrying request",
+			slog.String("url", req.URL.String()),
+			slog.Int("attempt", attempt),
+			slog.Duration("backoff", delay),
+			slog.String("error", lastErr.Error()))
 		select {
 		case <-ctx.Done():
 			return nil, ctx.Err()

@@ -1,0 +1,449 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"seqver/internal/metrics"
+	"seqver/internal/obs"
+)
+
+// syncBuf is a locked bytes.Buffer: slog handlers serialize their own
+// writes, but the tests read the buffer while workers are still logging.
+type syncBuf struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuf) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuf) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+// jsonLogLines parses every JSONL slog record in the buffer.
+func jsonLogLines(t *testing.T, buf *syncBuf) []map[string]any {
+	t.Helper()
+	var out []map[string]any
+	for _, line := range strings.Split(buf.String(), "\n") {
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		m := map[string]any{}
+		if err := json.Unmarshal([]byte(line), &m); err != nil {
+			t.Fatalf("bad log line %q: %v", line, err)
+		}
+		out = append(out, m)
+	}
+	return out
+}
+
+func findLog(lines []map[string]any, msg string, want map[string]any) map[string]any {
+outer:
+	for _, m := range lines {
+		if m["msg"] != msg {
+			continue
+		}
+		for k, v := range want {
+			if m[k] != v {
+				continue outer
+			}
+		}
+		return m
+	}
+	return nil
+}
+
+// cockpitLogger builds the production logging stack: JSON handler
+// wrapped in the obs baggage stamper, Debug level so access-log scrape
+// lines are visible to the assertions.
+func cockpitLogger(buf *syncBuf) *slog.Logger {
+	return slog.New(obs.NewLogHandler(slog.NewJSONHandler(buf,
+		&slog.HandlerOptions{Level: slog.LevelDebug})))
+}
+
+// TestEndToEndCorrelation is the tentpole acceptance: one submitted job
+// is traceable across the access log, the worker lifecycle lines, and
+// the span attributes, all keyed by the same job_id.
+func TestEndToEndCorrelation(t *testing.T) {
+	buf := &syncBuf{}
+	_, ts := newTestServer(t, Options{Logger: cockpitLogger(buf)})
+	c := &Client{Base: ts.URL}
+
+	v := submitWait(t, c, &JobRequest{
+		Golden:  SideSpec{BLIF: goldenSeq},
+		Revised: SideSpec{BLIF: revisedSeq},
+	})
+	if v.Status != StatusDone {
+		t.Fatalf("job: %+v", v)
+	}
+
+	lines := jsonLogLines(t, buf)
+	access := findLog(lines, "http", map[string]any{
+		"route": "POST /api/v1/jobs", "job_id": v.ID,
+	})
+	if access == nil {
+		t.Fatalf("no access-log line with the job id; lines:\n%s", buf.String())
+	}
+	reqID, _ := access["request_id"].(string)
+	if !strings.HasPrefix(reqID, "r-") {
+		t.Fatalf("access line missing request_id: %v", access)
+	}
+	if access["status"] != float64(http.StatusAccepted) || access["method"] != "POST" {
+		t.Fatalf("access line fields: %v", access)
+	}
+	if findLog(lines, "job accepted", map[string]any{"job_id": v.ID, "request_id": reqID}) == nil {
+		t.Fatalf("no job-accepted line sharing the request_id")
+	}
+	if findLog(lines, "attempt started", map[string]any{"job_id": v.ID}) == nil {
+		t.Fatalf("no attempt-started line with job_id (context baggage)")
+	}
+	fin := findLog(lines, "job finished", map[string]any{"job_id": v.ID, "status": StatusDone})
+	if fin == nil || fin["verdict"] != "equivalent" {
+		t.Fatalf("job-finished line: %v", fin)
+	}
+
+	// The same job_id must ride every span begin in the trace (baggage).
+	ctx := context.Background()
+	trace, err := c.Trace(ctx, v.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	events, err := obs.DecodeJSONL(bytes.NewReader(trace))
+	if err != nil {
+		t.Fatal(err)
+	}
+	begins := 0
+	for _, ev := range events {
+		if ev.Type != "begin" {
+			continue
+		}
+		begins++
+		if got := obs.AttrStr(ev.Attrs, "job_id"); got != v.ID {
+			t.Fatalf("span %q begin missing job_id baggage: attrs %v", ev.Name, ev.Attrs)
+		}
+	}
+	if begins == 0 {
+		t.Fatal("trace has no span begins")
+	}
+}
+
+func TestReadyzDrainLifecycle(t *testing.T) {
+	s, ts := newTestServer(t, Options{})
+	get := func() (int, map[string]any) {
+		t.Helper()
+		resp, err := http.Get(ts.URL + "/readyz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		m := map[string]any{}
+		if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, m
+	}
+	if code, m := get(); code != http.StatusOK || m["state"] != "ready" {
+		t.Fatalf("before drain: %d %v", code, m)
+	}
+	s.Drain(time.Second)
+	code, m := get()
+	if code != http.StatusServiceUnavailable || m["state"] != "draining" {
+		t.Fatalf("during drain: %d %v", code, m)
+	}
+}
+
+func TestTimeseriesEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Options{
+		SampleInterval: 20 * time.Millisecond, TimeSeriesCapacity: 256,
+	})
+	c := &Client{Base: ts.URL}
+	for i := 0; i < 2; i++ {
+		v := submitWait(t, c, &JobRequest{
+			Golden:  SideSpec{BLIF: goldenSeq},
+			Revised: SideSpec{BLIF: revisedSeq},
+		})
+		if v.Status != StatusDone {
+			t.Fatalf("job %d: %+v", i, v)
+		}
+	}
+	time.Sleep(80 * time.Millisecond) // a few sampler ticks past the finishes
+
+	resp, err := http.Get(ts.URL + "/api/v1/stats/timeseries?window=1m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var body struct {
+		IntervalSeconds float64          `json:"interval_seconds"`
+		Capacity        int              `json:"capacity"`
+		Samples         []metrics.Sample `json:"samples"`
+		Draining        bool             `json:"draining"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if body.IntervalSeconds != 0.02 || body.Capacity != 256 || body.Draining {
+		t.Fatalf("envelope: %+v", body)
+	}
+	if len(body.Samples) == 0 {
+		t.Fatal("no samples after several intervals")
+	}
+	// The two decided jobs must show up in the rate integral.
+	var decided float64
+	for _, smp := range body.Samples {
+		decided += smp.DecidedPerSec * body.IntervalSeconds
+		if smp.TS == 0 {
+			t.Fatalf("sample missing timestamp: %+v", smp)
+		}
+	}
+	if decided < 0.5 {
+		t.Fatalf("decided-rate integral %.2f, want ~2 (samples %+v)", decided, body.Samples)
+	}
+
+	if resp, err := http.Get(ts.URL + "/api/v1/stats/timeseries?window=bogus"); err == nil {
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("bogus window: HTTP %d", resp.StatusCode)
+		}
+		resp.Body.Close()
+	}
+}
+
+// hardXorPair builds an equivalent pair whose miter defeats structural
+// hashing (XOR-of-ANDs accumulated in opposite orders), so a starved
+// SAT budget must answer undecided — the SLO-relevant outcome.
+func hardXorPair(n int) (golden, revised string) {
+	build := func(name string, reverse bool) string {
+		var b strings.Builder
+		fmt.Fprintf(&b, ".model %s\n.inputs", name)
+		for i := 0; i < n; i++ {
+			fmt.Fprintf(&b, " x%d y%d", i, i)
+		}
+		b.WriteString("\n.outputs o\n")
+		for i := 0; i < n; i++ {
+			fmt.Fprintf(&b, ".names x%d y%d p%d\n11 1\n", i, (i+3)%n, i)
+		}
+		order := make([]int, n)
+		for i := range order {
+			if reverse {
+				order[i] = n - 1 - i
+			} else {
+				order[i] = i
+			}
+		}
+		fmt.Fprintf(&b, ".names p%d t0\n1 1\n", order[0])
+		for i := 1; i < n; i++ {
+			fmt.Fprintf(&b, ".names t%d p%d t%d\n10 1\n01 1\n", i-1, order[i], i)
+		}
+		fmt.Fprintf(&b, ".names t%d o\n1 1\n.end\n", n-1)
+		return b.String()
+	}
+	return build("hard_g", false), build("hard_r", true)
+}
+
+func TestSLOBurnsOnUndecidedJob(t *testing.T) {
+	lat, err := metrics.ParseLatencySLO("p99<2s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	avail, err := metrics.ParseAvailabilitySLO("99.9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, ts := newTestServer(t, Options{Objectives: []metrics.Objective{lat, avail}})
+	c := &Client{Base: ts.URL}
+
+	g, r := hardXorPair(16)
+	v := submitWait(t, c, &JobRequest{
+		Golden: SideSpec{BLIF: g}, Revised: SideSpec{BLIF: r},
+		Engine: "sat", MaxConflicts: 1,
+	})
+	if v.Status != StatusDone || v.Result == nil || v.Result.ExitCode != 2 {
+		t.Fatalf("want a budget-exhausted undecided job, got %+v", v)
+	}
+
+	var availability *metrics.ObjectiveStatus
+	for i := range s.SLOStatus() {
+		st := s.SLOStatus()[i]
+		if st.Name == "availability" {
+			availability = &st
+		}
+	}
+	if availability == nil {
+		t.Fatal("availability objective missing from status")
+	}
+	if availability.BudgetRemaining >= 1 || availability.BurnRateSlow <= 0 {
+		t.Fatalf("undecided job did not burn budget: %+v", availability)
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	expo, _ := io.ReadAll(resp.Body)
+	for _, family := range []string{
+		`seqver_slo_error_budget_ratio{objective="availability"}`,
+		`seqver_slo_burn_rate_fast_ratio{objective="latency_p99"}`,
+		`seqver_slo_burn_rate_slow_ratio{objective="availability"}`,
+	} {
+		if !strings.Contains(string(expo), family) {
+			t.Fatalf("/metrics missing %s", family)
+		}
+	}
+}
+
+func TestJobReportMatchesTrace(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	c := &Client{Base: ts.URL}
+	v := submitWait(t, c, &JobRequest{
+		Golden:  SideSpec{BLIF: goldenSeq},
+		Revised: SideSpec{BLIF: revisedSeq},
+	})
+	if v.Status != StatusDone {
+		t.Fatalf("job: %+v", v)
+	}
+
+	resp, err := http.Get(ts.URL + "/api/v1/jobs/" + v.ID + "/report")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var rep JobReport
+	if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.ID != v.ID || rep.Status != StatusDone || rep.Verdict != "equivalent" {
+		t.Fatalf("report header: %+v", rep)
+	}
+	if rep.TotalNS <= 0 || len(rep.Phases) == 0 {
+		t.Fatalf("report has no waterfall: %+v", rep)
+	}
+	if rep.CacheOutcome != "miss" {
+		t.Fatalf("first solve must report a cache miss, got %q", rep.CacheOutcome)
+	}
+
+	// Consistency with the raw trace: the report's per-phase span counts
+	// must equal the trace's begin counts, and the job phase must equal
+	// the report total.
+	trace, err := c.Trace(context.Background(), v.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	events, err := obs.DecodeJSONL(bytes.NewReader(trace))
+	if err != nil {
+		t.Fatal(err)
+	}
+	begins := map[string]int64{}
+	for _, ev := range events {
+		if ev.Type == "begin" {
+			begins[ev.Name]++
+		}
+	}
+	var jobPhase *PhaseReport
+	for i := range rep.Phases {
+		ph := rep.Phases[i]
+		if got := begins[ph.Name]; got != ph.Count {
+			t.Fatalf("phase %q count %d, trace has %d begins", ph.Name, ph.Count, got)
+		}
+		if ph.Name == "job" {
+			jobPhase = &rep.Phases[i]
+		}
+	}
+	if jobPhase == nil || jobPhase.TotalNS != rep.TotalNS {
+		t.Fatalf("job phase %+v vs total %d", jobPhase, rep.TotalNS)
+	}
+
+	if resp, err := http.Get(ts.URL + "/api/v1/jobs/nope/report"); err == nil {
+		if resp.StatusCode != http.StatusNotFound {
+			t.Fatalf("missing job: HTTP %d", resp.StatusCode)
+		}
+		resp.Body.Close()
+	}
+}
+
+func TestDashboardRenders(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 3})
+	resp, err := http.Get(ts.URL + "/dashboard")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("HTTP %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/html") {
+		t.Fatalf("content type %q", ct)
+	}
+	page := string(body)
+	for _, want := range []string{"seqverd cockpit", `data-workers="3"`, "api/v1/stats/timeseries"} {
+		if !strings.Contains(page, want) {
+			t.Fatalf("dashboard missing %q", want)
+		}
+	}
+	if resp.Header.Get("X-Request-ID") == "" {
+		t.Fatal("missing X-Request-ID response header")
+	}
+}
+
+// TestClientRetryLogging: attempt 1 draws a 503 whose Retry-After is
+// honored, then the daemon disappears — the give-up error must name the
+// attempt count and the honored hint, and the injected logger must have
+// seen both the retry and the abandonment.
+func TestClientRetryLogging(t *testing.T) {
+	var srv *httptest.Server
+	srv = httptest.NewUnstartedServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, "draining", "daemon is draining")
+		// Vanish before the retry lands: the backoff is ≥5ms.
+		go func() {
+			time.Sleep(time.Millisecond)
+			srv.Listener.Close()
+		}()
+	}))
+	srv.Config.SetKeepAlivesEnabled(false)
+	srv.Start()
+	defer srv.Close()
+
+	buf := &syncBuf{}
+	c := &Client{
+		Base: srv.URL, MaxAttempts: 2,
+		RetryBase: 5 * time.Millisecond, RetryMax: 5 * time.Millisecond,
+		Logger: slog.New(slog.NewJSONHandler(buf, nil)),
+	}
+	_, err := c.Job(context.Background(), "j-x")
+	if err == nil {
+		t.Fatal("expected give-up error")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "giving up after 2 attempts") ||
+		!strings.Contains(msg, "Retry-After: 5ms") {
+		t.Fatalf("give-up error: %v", err)
+	}
+	lines := jsonLogLines(t, buf)
+	retried := findLog(lines, "retrying request", nil)
+	if retried == nil || retried["attempt"] != float64(1) {
+		t.Fatalf("retry log line: %v\n%s", retried, buf.String())
+	}
+	abandoned := findLog(lines, "request abandoned", nil)
+	if abandoned == nil || abandoned["attempts"] != float64(2) {
+		t.Fatalf("abandoned line: %v", abandoned)
+	}
+}

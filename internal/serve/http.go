@@ -5,8 +5,10 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"strconv"
+	"time"
 
 	"seqver/internal/metrics"
 )
@@ -33,19 +35,87 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	enc.Encode(v)
 }
 
-// Handler mounts the full API: the job endpoints under /api/v1 plus the
-// shared debug surface (/metrics, /healthz, /debug/*) from
-// metrics.DebugMux, so one listener serves both.
+// Handler mounts the full API: the job endpoints under /api/v1, the
+// readiness and dashboard pages, plus the shared debug surface
+// (/metrics, /healthz, /debug/*) from metrics.DebugMux, so one listener
+// serves both. The whole mux sits behind the access-log middleware,
+// which mints the per-request correlation id.
 func (s *Server) Handler() http.Handler {
 	mux := metrics.DebugMux(s.reg)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
+	mux.HandleFunc("GET /dashboard", s.handleDashboard)
+	mux.HandleFunc("GET /api/v1/stats/timeseries", s.handleTimeseries)
 	mux.HandleFunc("POST /api/v1/jobs", s.handleSubmit)
 	mux.HandleFunc("GET /api/v1/jobs", s.handleList)
 	mux.HandleFunc("GET /api/v1/jobs/{id}", s.handleJob)
 	mux.HandleFunc("GET /api/v1/jobs/{id}/trace", s.handleTrace)
 	mux.HandleFunc("GET /api/v1/jobs/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /api/v1/jobs/{id}/report", s.handleReport)
 	mux.HandleFunc("GET /api/v1/corpus", s.handleCorpus)
 	mux.HandleFunc("GET /api/v1/cache", s.handleCache)
-	return mux
+	return s.accessLog(mux)
+}
+
+// handleReadyz is GET /readyz: the load-balancer readiness probe.
+// Unlike /healthz (process liveness), readiness goes false the moment a
+// drain begins — {"state":"draining"} with 503 — so rotation happens
+// before the listener closes. The body also carries the SLO status so
+// a human hitting the probe sees the error-budget picture.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	state, code := "ready", http.StatusOK
+	switch {
+	case s.Draining():
+		state, code = "draining", http.StatusServiceUnavailable
+	case !s.ready.Load():
+		state, code = "starting", http.StatusServiceUnavailable
+	}
+	body := map[string]any{"state": state}
+	if slo := s.slo.Status(); slo != nil {
+		body["slo"] = slo
+	}
+	if code != http.StatusOK {
+		w.Header().Set("Retry-After", "10")
+	}
+	writeJSON(w, code, body)
+}
+
+// handleTimeseries is GET /api/v1/stats/timeseries?window=5m: the
+// dashboard's history feed. window accepts a Go duration or a bare
+// second count; absent or non-positive it returns the full ring.
+func (s *Server) handleTimeseries(w http.ResponseWriter, r *http.Request) {
+	var window time.Duration
+	if v := r.URL.Query().Get("window"); v != "" {
+		d, err := time.ParseDuration(v)
+		if err != nil {
+			secs, err2 := strconv.Atoi(v)
+			if err2 != nil {
+				writeError(w, http.StatusBadRequest, "invalid_request",
+					fmt.Sprintf("bad window %q: want a duration like 5m or a second count", v))
+				return
+			}
+			d = time.Duration(secs) * time.Second
+		}
+		window = d
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"interval_seconds": s.tsr.Interval().Seconds(),
+		"capacity":         s.tsr.Capacity(),
+		"samples":          s.tsr.Window(window),
+		"slo":              s.slo.Status(),
+		"draining":         s.Draining(),
+	})
+}
+
+// handleReport is GET /api/v1/jobs/{id}/report: the job's trace folded
+// into the phase/miter waterfall the dashboard renders.
+func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
+	j := s.Job(r.PathValue("id"))
+	if j == nil {
+		writeError(w, http.StatusNotFound, "not_found", "no such job")
+		return
+	}
+	stampRequest(r.Context(), slog.String("job_id", j.ID))
+	writeJSON(w, http.StatusOK, s.Report(j))
 }
 
 // handleSubmit is POST /api/v1/jobs: accept a JobRequest, answer 202
@@ -87,8 +157,23 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "invalid_request", err.Error())
 		return
 	}
+	stampRequest(r.Context(), slog.String("job_id", j.ID))
+	s.log.LogAttrs(r.Context(), slog.LevelInfo, "job accepted",
+		slog.String("job_id", j.ID),
+		slog.String("golden", sideName(req.Golden)),
+		slog.String("revised", sideName(req.Revised)),
+		slog.String("engine", req.Engine),
+		slog.Int64("budget_ms", req.BudgetMS))
 	w.Header().Set("Location", "/api/v1/jobs/"+j.ID)
 	writeJSON(w, http.StatusAccepted, j.View())
+}
+
+// sideName names one side for the log line without ever echoing BLIF.
+func sideName(s SideSpec) string {
+	if s.Corpus != "" {
+		return s.Corpus
+	}
+	return "inline"
 }
 
 // handleList is GET /api/v1/jobs: remembered jobs, newest first.
@@ -105,6 +190,7 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, "not_found", "no such job")
 		return
 	}
+	stampRequest(r.Context(), slog.String("job_id", j.ID))
 	v := j.View()
 	if v.Status == StatusRejected {
 		w.Header().Set("Retry-After", "10")
@@ -121,6 +207,7 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, "not_found", "no such job")
 		return
 	}
+	stampRequest(r.Context(), slog.String("job_id", j.ID))
 	data, truncated := j.fan.trace()
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	if truncated {
@@ -143,6 +230,7 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, "not_found", "no such job")
 		return
 	}
+	stampRequest(r.Context(), slog.String("job_id", j.ID))
 	flusher, ok := w.(http.Flusher)
 	if !ok {
 		writeError(w, http.StatusInternalServerError, "internal",

@@ -1,0 +1,145 @@
+package serve
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"log/slog"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"seqver/internal/obs"
+)
+
+// The access-log middleware is the daemon's request-scoped correlation
+// root: every request gets a request_id, carried as obs baggage in the
+// request context so both slog lines and any spans opened under the
+// request are stamped with it, and one structured access line is
+// emitted when the handler returns. Handlers that resolve a job stamp
+// its job_id onto the line via stampRequest, which is what lets an
+// operator grep a job id and see the submit, the poll traffic, and the
+// worker lifecycle lines as one story.
+
+// reqMetaKey carries the per-request attribute bag in the context.
+type reqMetaKey struct{}
+
+// requestMeta accumulates handler-contributed attrs (job_id, ...) for
+// the access-log line. Guarded: SSE handlers touch it from the handler
+// goroutine while the middleware reads it after ServeHTTP returns.
+type requestMeta struct {
+	mu    sync.Mutex
+	attrs []slog.Attr
+}
+
+func (m *requestMeta) add(attrs ...slog.Attr) {
+	m.mu.Lock()
+	m.attrs = append(m.attrs, attrs...)
+	m.mu.Unlock()
+}
+
+func (m *requestMeta) snapshot() []slog.Attr {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]slog.Attr(nil), m.attrs...)
+}
+
+// stampRequest attaches attributes to the current request's access-log
+// line (no-op outside the access-log middleware, e.g. direct handler
+// tests).
+func stampRequest(ctx context.Context, attrs ...slog.Attr) {
+	if m, ok := ctx.Value(reqMetaKey{}).(*requestMeta); ok {
+		m.add(attrs...)
+	}
+}
+
+// newRequestID mints a short random correlation id ("r-" + 12 hex).
+func newRequestID() string {
+	var b [6]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "r-unknown"
+	}
+	return "r-" + hex.EncodeToString(b[:])
+}
+
+// accessRecorder captures status and byte count for the access line. It
+// passes Flush through so the SSE endpoint's http.Flusher assertion
+// still holds behind the middleware.
+type accessRecorder struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (a *accessRecorder) WriteHeader(code int) {
+	if a.status == 0 {
+		a.status = code
+	}
+	a.ResponseWriter.WriteHeader(code)
+}
+
+func (a *accessRecorder) Write(b []byte) (int, error) {
+	if a.status == 0 {
+		a.status = http.StatusOK
+	}
+	n, err := a.ResponseWriter.Write(b)
+	a.bytes += int64(n)
+	return n, err
+}
+
+func (a *accessRecorder) Flush() {
+	if f, ok := a.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// scrapePath reports whether a path is periodic machine traffic
+// (health probes, metric scrapes, the dashboard's own polling) that
+// logs at Debug instead of Info, so a quiet daemon stays quiet.
+func scrapePath(p string) bool {
+	switch p {
+	case "/metrics", "/healthz", "/readyz", "/dashboard", "/api/v1/stats/timeseries", "/api/v1/jobs":
+		return true
+	}
+	return strings.HasPrefix(p, "/debug/")
+}
+
+// accessLog wraps the API mux: mint a request_id, expose it as obs
+// baggage (slog lines and spans under this request inherit it) and as
+// an X-Request-ID response header, then log one line per request with
+// method, route pattern, status, latency, and bytes written.
+func (s *Server) accessLog(mux *http.ServeMux) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		reqID := newRequestID()
+		meta := &requestMeta{}
+		ctx := obs.WithBaggage(r.Context(), obs.S("request_id", reqID))
+		ctx = context.WithValue(ctx, reqMetaKey{}, meta)
+		w.Header().Set("X-Request-ID", reqID)
+		rec := &accessRecorder{ResponseWriter: w}
+		mux.ServeHTTP(rec, r.WithContext(ctx))
+		if rec.status == 0 {
+			rec.status = http.StatusOK
+		}
+		// The mux resolves the matched route pattern, so the log keys on
+		// "GET /api/v1/jobs/{id}" rather than one line shape per job id.
+		_, route := mux.Handler(r)
+		if route == "" {
+			route = r.URL.Path
+		}
+		level := slog.LevelInfo
+		if scrapePath(r.URL.Path) {
+			level = slog.LevelDebug
+		}
+		attrs := append([]slog.Attr{
+			slog.String("method", r.Method),
+			slog.String("route", route),
+			slog.String("path", r.URL.Path),
+			slog.Int("status", rec.status),
+			slog.Int64("bytes", rec.bytes),
+			slog.Duration("latency", time.Since(start)),
+		}, meta.snapshot()...)
+		s.log.LogAttrs(ctx, level, "http", attrs...)
+	})
+}

@@ -10,8 +10,11 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
+	"log/slog"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"seqver/internal/cec"
@@ -49,6 +52,18 @@ type Options struct {
 	MaxJobs int
 	// Registry receives the daemon's metric series; nil creates one.
 	Registry *metrics.Registry
+
+	// Logger receives the daemon's structured logs (nil: discard). Wrap
+	// the handler in obs.NewLogHandler so every line under a job or
+	// request context carries its correlation ids automatically.
+	Logger *slog.Logger
+	// Objectives, when non-empty, arms the SLO tracker: rolling
+	// error-budget burn gauges in /metrics and status in /readyz.
+	Objectives []metrics.Objective
+	// TimeSeriesCapacity / SampleInterval shape the in-daemon stats ring
+	// behind /api/v1/stats/timeseries (defaults 900 samples × 1 s).
+	TimeSeriesCapacity int
+	SampleInterval     time.Duration
 
 	// JournalDir, when non-empty, enables the durable job journal: an
 	// append-only JSONL write-ahead log of job lifecycle transitions.
@@ -141,6 +156,12 @@ type Server struct {
 	cache   *Cache
 	corpus  *corpus
 	journal *journal // nil when JournalDir is empty
+	log     *slog.Logger
+
+	tsr     *metrics.TimeSeries
+	sampler *metrics.Sampler
+	slo     *metrics.SLOTracker // nil without objectives (no-op methods)
+	ready   atomic.Bool
 
 	mu          sync.Mutex
 	jobs        map[string]*Job
@@ -184,10 +205,17 @@ func New(opt Options) (*Server, error) {
 			return nil, err
 		}
 	}
+	logger := opt.Logger
+	if logger == nil {
+		logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
 		opt: opt, reg: opt.Registry, cache: cache, corpus: newCorpus(),
 		journal:     jn,
+		log:         logger,
+		tsr:         metrics.NewTimeSeries(opt.TimeSeriesCapacity, opt.SampleInterval),
+		slo:         metrics.NewSLOTracker(opt.Registry, opt.Objectives, 0, 0),
 		jobs:        map[string]*Job{},
 		retryTimers: map[string]*time.Timer{},
 		// Recovered live jobs must all fit back into the queue even when
@@ -208,8 +236,82 @@ func New(opt Options) (*Server, error) {
 		s.wg.Add(1)
 		go s.worker()
 	}
+	s.sampler = metrics.StartSampler(s.tsr, s.collector())
+	s.ready.Store(true)
+	s.log.Info("daemon ready",
+		slog.Int("workers", opt.Workers),
+		slog.Int("queue_depth", opt.QueueDepth),
+		slog.Int("recovered_jobs", len(recovered)),
+		slog.Int("slo_objectives", len(opt.Objectives)))
 	return s, nil
 }
+
+// collector builds the sampler callback: one metrics.Sample per tick,
+// with throughput rates as counter deltas and latency quantiles as the
+// windowed delta of the job-latency histogram. The closure's previous
+// values need no locking — only the sampler goroutine calls it. The
+// sampler doubles as the SLO tracker's heartbeat, so burn rates decay
+// even while no jobs finish.
+func (s *Server) collector() func(time.Time) metrics.Sample {
+	verdicts := func(v string) int64 { return s.jobVerdicts(v).Value() }
+	outcomes := func(o string) int64 {
+		return s.reg.CounterL("seqver_jobs_total",
+			"Jobs accepted by the daemon, by outcome.", "outcome", o).Value()
+	}
+	type counts struct{ decided, undecided, failed, rejected int64 }
+	read := func() counts {
+		return counts{
+			decided:   verdicts("equivalent") + verdicts("inequivalent"),
+			undecided: verdicts("undecided"),
+			failed:    outcomes(StatusFailed) + outcomes(StatusQuarantined),
+			rejected:  outcomes(StatusRejected),
+		}
+	}
+	prev := read()
+	prevHist := s.jobSeconds.Snapshot()
+	prevT := time.Now()
+	return func(now time.Time) metrics.Sample {
+		s.slo.Tick()
+		cur := read()
+		hist := s.jobSeconds.Snapshot()
+		dt := now.Sub(prevT).Seconds()
+		if dt <= 0 {
+			dt = s.tsr.Interval().Seconds()
+		}
+		smp := metrics.Sample{
+			TS:              now.UnixMilli(),
+			QueueDepth:      s.queuedG.Value(),
+			Running:         s.runningG.Value(),
+			DecidedPerSec:   float64(cur.decided-prev.decided) / dt,
+			UndecidedPerSec: float64(cur.undecided-prev.undecided) / dt,
+			FailedPerSec:    float64(cur.failed-prev.failed) / dt,
+			RejectedPerSec:  float64(cur.rejected-prev.rejected) / dt,
+		}
+		if cs := s.cache.Stats(); cs.Hits+cs.Misses > 0 {
+			smp.CacheHitRatio = float64(cs.Hits) / float64(cs.Hits+cs.Misses)
+		}
+		if delta := hist.Sub(prevHist); delta.Count > 0 {
+			smp.P50Seconds = delta.Quantile(0.5) / 1e9
+			smp.P99Seconds = delta.Quantile(0.99) / 1e9
+		}
+		prev, prevHist, prevT = cur, hist, now
+		return smp
+	}
+}
+
+// jobVerdicts is the by-verdict counter family behind the dashboard's
+// throughput rates (done jobs only; outcome counters cover the rest).
+func (s *Server) jobVerdicts(verdict string) *metrics.Counter {
+	return s.reg.CounterL("seqverd_job_verdicts_total",
+		"Jobs finished as done, by verdict.", "verdict", verdict)
+}
+
+// TimeSeries exposes the stats ring (the /api/v1/stats/timeseries
+// backing store) for embedders and tests.
+func (s *Server) TimeSeries() *metrics.TimeSeries { return s.tsr }
+
+// SLOStatus snapshots the configured objectives (nil without any).
+func (s *Server) SLOStatus() []metrics.ObjectiveStatus { return s.slo.Status() }
 
 // recover folds the replayed journal into the job table before the
 // worker pool starts (no locking needed yet, but the normal helpers
@@ -430,6 +532,7 @@ func (s *Server) Draining() bool {
 // safe to call more than once.
 func (s *Server) Drain(timeout time.Duration) {
 	s.drainOnce.Do(func() {
+		s.log.Info("draining", slog.Duration("timeout", timeout))
 		s.mu.Lock()
 		s.draining = true
 		timers := s.retryTimers
@@ -457,8 +560,12 @@ func (s *Server) Drain(timeout time.Duration) {
 			<-done
 		}
 		s.baseCancel()
+		// The final drain sample closes the time series at the instant the
+		// pool went idle, then the journal compacts and closes.
+		s.sampler.Stop()
 		s.compactJournal()
 		s.journal.close()
+		s.log.Info("drained")
 	})
 }
 
@@ -505,6 +612,28 @@ func (s *Server) finishJob(j *Job, status string, res *JobResult, errMsg string)
 		s.journalAppend(rec)
 	}
 	s.countOutcome(status)
+	// SLO accounting: a decided done job is good (subject to the latency
+	// threshold); an undecided one, a failed one, and a quarantined one
+	// all burn error budget. A drain-rejected job is load shedding, not
+	// a service failure, and is excluded.
+	attrs := []slog.Attr{slog.String("job_id", j.ID), slog.String("status", status)}
+	level := slog.LevelInfo
+	switch {
+	case status == StatusDone && res != nil:
+		s.jobVerdicts(res.Verdict).Inc()
+		s.slo.Observe(res.ElapsedNS, res.ExitCode != 2)
+		attrs = append(attrs,
+			slog.String("verdict", res.Verdict),
+			slog.Duration("elapsed", time.Duration(res.ElapsedNS)),
+			slog.Bool("cached", res.Cached))
+	case status == StatusFailed || status == StatusQuarantined:
+		s.slo.Observe(0, false)
+		level = slog.LevelWarn
+		attrs = append(attrs, slog.String("error", errMsg))
+	default:
+		attrs = append(attrs, slog.String("error", errMsg))
+	}
+	s.log.LogAttrs(context.Background(), level, "job finished", attrs...)
 	j.finishAs(status, res, errMsg)
 	if s.journal != nil && s.journal.size() > s.opt.JournalCompactBytes {
 		s.compactJournal()
@@ -530,9 +659,15 @@ func (s *Server) run(j *Job) {
 	tr := obs.New(j.fan, metrics.NewSink(s.reg))
 	ctx := obs.WithTracer(s.baseCtx, tr)
 	ctx = metrics.WithRegistry(ctx, s.reg)
+	// The job id rides the context as baggage from here on: every span
+	// the pipeline opens and every slog line under this context carries
+	// job_id without the call sites knowing about it.
+	ctx = obs.WithBaggage(ctx, obs.S("job_id", j.ID))
 	ctx, cancel := context.WithCancel(ctx)
 	attempt := j.setRunning(cancel)
 	s.journalAppend(journalRecord{Op: jopStarted, ID: j.ID, Attempt: attempt})
+	s.log.LogAttrs(ctx, slog.LevelInfo, "attempt started",
+		slog.Int("attempt", attempt))
 	stopWatchdog := s.startWatchdog(j)
 	if s.testRunGate != nil {
 		s.testRunGate(ctx, j)

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"fmt"
+	"log/slog"
 	"math/rand"
 	"runtime"
 	"time"
@@ -59,8 +60,11 @@ func (s *Server) startWatchdog(j *Job) (stop func()) {
 				idle := time.Now().UnixNano() - j.fan.lastActivity()
 				if idle > stallNS {
 					s.watchdogKills("stall").Inc()
-					j.kill(fmt.Sprintf("%s: no progress events for %v (window %v)",
-						killStall, time.Duration(idle).Round(time.Millisecond), s.opt.StallTimeout))
+					reason := fmt.Sprintf("%s: no progress events for %v (window %v)",
+						killStall, time.Duration(idle).Round(time.Millisecond), s.opt.StallTimeout)
+					s.log.Warn("watchdog kill",
+						slog.String("job_id", j.ID), slog.String("reason", reason))
+					j.kill(reason)
 					return
 				}
 			}
@@ -69,8 +73,11 @@ func (s *Server) startWatchdog(j *Job) (stop func()) {
 				runtime.ReadMemStats(&ms)
 				if int64(ms.HeapAlloc) > ceiling {
 					s.watchdogKills("mem").Inc()
-					j.kill(fmt.Sprintf("%s: process heap %d bytes over ceiling %d",
-						killMem, ms.HeapAlloc, ceiling))
+					reason := fmt.Sprintf("%s: process heap %d bytes over ceiling %d",
+						killMem, ms.HeapAlloc, ceiling)
+					s.log.Warn("watchdog kill",
+						slog.String("job_id", j.ID), slog.String("reason", reason))
+					j.kill(reason)
 					return
 				}
 			}
@@ -99,6 +106,9 @@ func (s *Server) retryOrQuarantine(j *Job, cause string) {
 	delay := retryBackoff(s.opt.RetryBaseBackoff, s.opt.RetryMaxBackoff, attempt)
 	s.reg.Counter("seqverd_retries_total",
 		"Failed attempts rescheduled with backoff.").Inc()
+	s.log.Warn("attempt failed, retrying",
+		slog.String("job_id", j.ID), slog.Int("attempt", attempt),
+		slog.Duration("backoff", delay), slog.String("cause", cause))
 	s.journalAppend(journalRecord{Op: jopRetry, ID: j.ID, Attempt: attempt, Error: cause})
 	j.setRetrying(cause)
 
