@@ -1,16 +1,22 @@
 // Command benchdiff compares two BENCH_cec.json files (see cmd/cecbench
 // and internal/benchfmt) and gates on performance regressions: worker
 // rows compare min ns/op, budget rungs compare mean ns/op, and any row
-// slowing down by more than the noise threshold fails the diff. It
-// refuses to compare files recorded under different GOMAXPROCS — those
-// numbers measure different machines, not different code.
+// slowing down by more than the noise threshold fails the diff. Worker
+// rows carrying allocation numbers additionally compare bytes/op under
+// -alloc-threshold — a separate, tighter gate, because allocation
+// volume is nearly deterministic where wall clock is noisy. It refuses
+// to compare files recorded under different GOMAXPROCS — those numbers
+// measure different machines, not different code.
 //
 // Usage:
 //
-//	benchdiff [-threshold 1.25] [-allow-procs-mismatch] [-allow-mode-mismatch] [-json] old.json new.json
+//	benchdiff [-threshold 1.25] [-alloc-threshold 1.10]
+//	          [-allow-procs-mismatch] [-allow-mode-mismatch] [-json]
+//	          old.json new.json
 //
-// Exit codes: 0 no regression; 1 at least one row regressed past the
-// threshold; 2 usage errors, unreadable files, or refused comparisons.
+// Exit codes: 0 no regression; 1 at least one row regressed past a
+// threshold (time or allocation); 2 usage errors, unreadable files, or
+// refused comparisons.
 package main
 
 import (
@@ -32,6 +38,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	threshold := fs.Float64("threshold", benchfmt.DefaultThreshold,
 		"new/old ratio above which a slowdown is a regression")
+	allocThreshold := fs.Float64("alloc-threshold", benchfmt.DefaultAllocThreshold,
+		"new/old bytes-per-op ratio above which allocation growth is a regression")
 	allowProcs := fs.Bool("allow-procs-mismatch", false,
 		"compare files recorded under different GOMAXPROCS anyway")
 	allowMode := fs.Bool("allow-mode-mismatch", false,
@@ -60,6 +68,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	diff, err := benchfmt.Compare(base, head, benchfmt.DiffOptions{
 		Threshold:          *threshold,
+		AllocThreshold:     *allocThreshold,
 		AllowProcsMismatch: *allowProcs,
 		AllowModeMismatch:  *allowMode,
 	})
@@ -77,8 +86,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 	} else {
 		printTable(stdout, diff)
 	}
-	if diff.Regressions > 0 {
-		fmt.Fprintf(stderr, "benchdiff: %d regression(s) past %.2fx\n", diff.Regressions, diff.Threshold)
+	if diff.Regressions > 0 || diff.AllocRegressions > 0 {
+		if diff.Regressions > 0 {
+			fmt.Fprintf(stderr, "benchdiff: %d regression(s) past %.2fx\n", diff.Regressions, diff.Threshold)
+		}
+		if diff.AllocRegressions > 0 {
+			fmt.Fprintf(stderr, "benchdiff: %d allocation regression(s) past %.2fx\n",
+				diff.AllocRegressions, diff.AllocThreshold)
+		}
 		return 1
 	}
 	return 0
@@ -93,6 +108,12 @@ func printTable(w io.Writer, d *benchfmt.Diff) {
 			verdict = "REGRESSION"
 		} else if delta.Ratio > 0 && delta.Ratio < 1/d.Threshold {
 			verdict = "improved"
+		}
+		if delta.AllocRegression {
+			verdict += fmt.Sprintf("  ALLOC REGRESSION %dB -> %dB (%.2fx)",
+				delta.OldBytesOp, delta.NewBytesOp, delta.AllocRatio)
+		} else if delta.AllocRatio > 0 {
+			verdict += fmt.Sprintf("  alloc %.2fx", delta.AllocRatio)
 		}
 		if delta.Note != "" {
 			verdict += "  (" + delta.Note + ")"

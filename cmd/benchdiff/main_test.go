@@ -102,6 +102,41 @@ func TestRunExitCodes(t *testing.T) {
 		}
 	})
 
+	t.Run("alloc-regression", func(t *testing.T) {
+		// The acceptance case: an injected allocation regression fails
+		// the diff even though wall clock is unchanged.
+		withAlloc := testReport()
+		withAlloc.Results[0].AllocsPerOp = 10_000
+		withAlloc.Results[0].BytesPerOp = 1 << 20
+		allocBase := writeReport(t, dir, "alloc-base.json", withAlloc)
+
+		grown := testReport()
+		grown.Results[0].AllocsPerOp = 10_000
+		grown.Results[0].BytesPerOp = (1 << 20) * 3 / 2 // 1.5x bytes/op
+		head := writeReport(t, dir, "alloc-grown.json", grown)
+
+		var out, errb bytes.Buffer
+		if code := run([]string{allocBase, head}, &out, &errb); code != 1 {
+			t.Fatalf("1.5x alloc growth: exit %d, want 1\nstderr: %s", code, errb.String())
+		}
+		if !strings.Contains(errb.String(), "allocation regression(s)") {
+			t.Errorf("stderr missing alloc regression summary: %s", errb.String())
+		}
+		if !strings.Contains(out.String(), "ALLOC REGRESSION") {
+			t.Errorf("table missing ALLOC REGRESSION verdict:\n%s", out.String())
+		}
+
+		// -alloc-threshold waives it when raised past the growth.
+		if code := run([]string{"-alloc-threshold", "2.0", allocBase, head}, &out, &errb); code != 0 {
+			t.Fatalf("1.5x under -alloc-threshold 2.0: exit %d, want 0", code)
+		}
+
+		// A legacy baseline without alloc fields never trips the gate.
+		if code := run([]string{base, head}, &out, &errb); code != 0 {
+			t.Fatalf("legacy baseline vs alloc head: exit %d, want 0 (gate skipped)", code)
+		}
+	})
+
 	t.Run("threshold-flag", func(t *testing.T) {
 		slow := testReport()
 		slow.Results[0].MinNSOp = 1_500_000 // 1.5x

@@ -20,9 +20,18 @@
 //
 // Usage:
 //
-//	cecbench [-circuit s3384] [-workers 1,2,4,8] [-iters 3]
+//	cecbench [-circuit s3384] [-workers 1,2,4,8] [-iters 3] [-count 1]
 //	         [-sat-mode incremental|fresh] [-budgets 5ms,20ms,80ms,0]
 //	         [-out BENCH_cec.json]
+//
+// Each worker row also records the run's allocation profile —
+// allocs_per_op / bytes_per_op and the estimated GC pause accrued per
+// op, from runtime/metrics deltas around the timed loop — so
+// cmd/benchdiff can gate allocation regressions alongside wall clock.
+// -count repeats the whole measurement per row; min/max ns/op and the
+// spread ratio across every iteration of every repeat quantify the
+// harness's run-to-run noise (the benchdiff threshold calibration in
+// EXPERIMENTS.md is recomputed from that measured spread).
 package main
 
 import (
@@ -52,6 +61,7 @@ func main() {
 	circuit := flag.String("circuit", "s3384", "Table-1 spec name for the miter pair")
 	workerList := flag.String("workers", "1,2,4,8", "comma-separated worker counts to sweep")
 	iters := flag.Int("iters", 3, "check iterations per worker count")
+	count := flag.Int("count", 1, "repeats of the whole measurement per row; spread is recorded across all repeats")
 	out := flag.String("out", "BENCH_cec.json", "output JSON path (- for stdout)")
 	// Default to the sat engine: on an equivalent pair the hybrid
 	// engine's fraig stage collapses most miters structurally, leaving
@@ -96,6 +106,9 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	if *count < 1 {
+		*count = 1
+	}
 	rep := benchfmt.Report{
 		Circuit:    *circuit,
 		Engine:     *engine,
@@ -103,6 +116,7 @@ func main() {
 		Outputs:    len(h.Outputs),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		NumCPU:     runtime.NumCPU(),
+		Count:      *count,
 		Date:       time.Now().UTC().Format(time.RFC3339),
 	}
 
@@ -124,21 +138,31 @@ func main() {
 				"workers=%d exceeds GOMAXPROCS=%d: row measures scheduling overhead, not parallel speedup", w, wr.GOMAXPROCS)
 			fmt.Fprintln(os.Stderr, "cecbench: warning:", wr.Warning)
 		}
-		var total int64
-		for it := 0; it < *iters; it++ {
+		var total, pauseNS int64
+		var allocBytes, allocObjects uint64
+		n := *iters * *count
+		for it := 0; it < n; it++ {
 			// A fresh summary sink per iteration so phase_ns reports the
 			// last (warmed-up) run rather than a sum across iterations.
 			sum := obs.NewSummarySink()
 			ctx := obs.WithTracer(context.Background(), obs.New(sum))
+			b0, o0, p0 := obs.MemCounters()
 			start := time.Now()
 			res, err := cec.CheckCtx(ctx, h, j, cec.Options{Engine: *engine, SATMode: *satMode, Workers: w})
 			if err != nil {
 				fatal(err)
 			}
 			ns := time.Since(start).Nanoseconds()
+			b1, o1, p1 := obs.MemCounters()
+			allocBytes += b1 - b0
+			allocObjects += o1 - o0
+			pauseNS += p1 - p0
 			total += ns
 			if ns < wr.MinNSOp {
 				wr.MinNSOp = ns
+			}
+			if ns > wr.MaxNSOp {
+				wr.MaxNSOp = ns
 			}
 			wr.SATCalls = res.SATCalls
 			wr.Conflicts = res.Stats.Conflicts
@@ -148,7 +172,13 @@ func main() {
 				fatal(fmt.Errorf("workers=%d: verdict %v on equivalent pair", w, res.Verdict))
 			}
 		}
-		wr.MeanNSOp = total / int64(*iters)
+		wr.MeanNSOp = total / int64(n)
+		wr.AllocsPerOp = int64(allocObjects) / int64(n)
+		wr.BytesPerOp = int64(allocBytes) / int64(n)
+		wr.GCPauseNSOp = pauseNS / int64(n)
+		if wr.MinNSOp > 0 {
+			wr.SpreadRatio = float64(wr.MaxNSOp) / float64(wr.MinNSOp)
+		}
 		if baseline == 0 {
 			baseline = wr.MinNSOp
 		}
@@ -158,8 +188,9 @@ func main() {
 			wr.Speedup = float64(baseline) / float64(wr.MinNSOp)
 		}
 		rep.Results = append(rep.Results, wr)
-		fmt.Fprintf(os.Stderr, "workers=%d  %v/op  speedup %.2fx\n",
-			w, time.Duration(wr.MinNSOp).Round(time.Microsecond), wr.Speedup)
+		fmt.Fprintf(os.Stderr, "workers=%d  %v/op  speedup %.2fx  %dB/op (%d allocs)  spread %.2fx\n",
+			w, time.Duration(wr.MinNSOp).Round(time.Microsecond), wr.Speedup,
+			wr.BytesPerOp, wr.AllocsPerOp, wr.SpreadRatio)
 	}
 
 	if *budgets != "" {

@@ -1,0 +1,173 @@
+// Command profdiff compares two pprof captures — typically a pair of
+// heap profiles pulled from seqverd's /debug/profiles ring, or the
+// before/after of cmd/cecbench -memprofile — and reports the top-N
+// symbols whose flat value grew, plus the totals. Like cmd/benchdiff it
+// is a gate, not just a viewer: the overall total growing past
+// -threshold is a regression.
+//
+// The parser is internal/prof's hand-rolled profile.proto reader, so
+// profdiff needs neither graphviz nor the go toolchain on the host that
+// runs it.
+//
+// Usage:
+//
+//	profdiff [-type inuse_space] [-top 10] [-threshold 1.25] [-json]
+//	         old.pprof new.pprof
+//
+// -type selects the sample-value column by name (heap profiles carry
+// alloc_objects, alloc_space, inuse_objects, inuse_space; CPU profiles
+// carry samples, cpu); empty selects the profile's default column (the
+// last one — inuse_space for heap, cpu nanoseconds for CPU).
+//
+// Exit codes: 0 total within threshold; 1 total grew past threshold;
+// 2 usage errors, unreadable or unparsable captures, or a -type absent
+// from either capture.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"seqver/internal/prof"
+)
+
+func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
+
+// symDelta is one symbol's flat-value change, old -> new.
+type symDelta struct {
+	Symbol string `json:"symbol"`
+	Old    int64  `json:"old"`
+	New    int64  `json:"new"`
+	Growth int64  `json:"growth"` // new - old; the sort key
+}
+
+// report is the JSON shape of a diff.
+type report struct {
+	SampleType string     `json:"sample_type"`
+	OldTotal   int64      `json:"old_total"`
+	NewTotal   int64      `json:"new_total"`
+	Ratio      float64    `json:"ratio"` // new/old totals; >1 grew
+	Threshold  float64    `json:"threshold"`
+	Regression bool       `json:"regression"`
+	Top        []symDelta `json:"top"` // by growth, descending
+}
+
+// run is main with its streams and exit code lifted out for tests.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("profdiff", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	typ := fs.String("type", "", "sample-value column to compare (e.g. inuse_space); empty: the profile's default column")
+	top := fs.Int("top", 10, "how many growing symbols to list")
+	threshold := fs.Float64("threshold", 1.25, "new/old total ratio above which growth is a regression")
+	jsonOut := fs.Bool("json", false, "emit the diff as JSON instead of a table")
+	fs.Usage = func() {
+		fmt.Fprintln(stderr, "usage: profdiff [-type T] [-top N] [-threshold R] [-json] old.pprof new.pprof")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 2 {
+		fs.Usage()
+		return 2
+	}
+	oldFlat, oldTotal, oldTyp, err := loadFlat(fs.Arg(0), *typ)
+	if err != nil {
+		fmt.Fprintln(stderr, "profdiff:", err)
+		return 2
+	}
+	newFlat, newTotal, newTyp, err := loadFlat(fs.Arg(1), *typ)
+	if err != nil {
+		fmt.Fprintln(stderr, "profdiff:", err)
+		return 2
+	}
+	if oldTyp != newTyp {
+		fmt.Fprintf(stderr, "profdiff: refused: sample type %q vs %q — not the same measurement (pass -type to pin one)\n", oldTyp, newTyp)
+		return 2
+	}
+
+	rep := report{SampleType: oldTyp, OldTotal: oldTotal, NewTotal: newTotal, Threshold: *threshold}
+	if oldTotal > 0 {
+		rep.Ratio = float64(newTotal) / float64(oldTotal)
+		rep.Regression = rep.Ratio > *threshold
+	}
+	seen := map[string]bool{}
+	for sym, nv := range newFlat {
+		seen[sym] = true
+		if g := nv - oldFlat[sym]; g > 0 {
+			rep.Top = append(rep.Top, symDelta{Symbol: sym, Old: oldFlat[sym], New: nv, Growth: g})
+		}
+	}
+	// Symbols that vanished never grow, so only the new side seeds Top.
+	sort.Slice(rep.Top, func(i, j int) bool {
+		if rep.Top[i].Growth != rep.Top[j].Growth {
+			return rep.Top[i].Growth > rep.Top[j].Growth
+		}
+		return rep.Top[i].Symbol < rep.Top[j].Symbol
+	})
+	if len(rep.Top) > *top {
+		rep.Top = rep.Top[:*top]
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(&rep); err != nil {
+			fmt.Fprintln(stderr, "profdiff:", err)
+			return 2
+		}
+	} else {
+		printTable(stdout, &rep)
+	}
+	if rep.Regression {
+		fmt.Fprintf(stderr, "profdiff: total %s grew %.2fx (past %.2fx)\n", rep.SampleType, rep.Ratio, rep.Threshold)
+		return 1
+	}
+	return 0
+}
+
+func loadFlat(path, typ string) (map[string]int64, int64, string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, 0, "", err
+	}
+	defer f.Close()
+	p, err := prof.ParseProfile(f)
+	if err != nil {
+		return nil, 0, "", fmt.Errorf("%s: %w", path, err)
+	}
+	flat, total, err := p.FlatBy(typ)
+	if err != nil {
+		return nil, 0, "", fmt.Errorf("%s: %w", path, err)
+	}
+	// Name the column actually compared, so a defaulted pick is visible
+	// and a cross-kind diff (cpu vs heap) is refused by the caller.
+	name := p.SampleTypes[len(p.SampleTypes)-1]
+	if typ != "" {
+		for _, st := range p.SampleTypes {
+			if strings.HasPrefix(st, typ+"/") {
+				name = st
+				break
+			}
+		}
+	}
+	return flat, total, name, nil
+}
+
+func printTable(w io.Writer, r *report) {
+	fmt.Fprintf(w, "sample type %s, threshold %.2fx\n", r.SampleType, r.Threshold)
+	fmt.Fprintf(w, "total %d -> %d (%.2fx)\n", r.OldTotal, r.NewTotal, r.Ratio)
+	if len(r.Top) == 0 {
+		fmt.Fprintln(w, "no growing symbols")
+		return
+	}
+	fmt.Fprintf(w, "%14s %14s %14s  %s\n", "old", "new", "growth", "symbol")
+	for _, d := range r.Top {
+		fmt.Fprintf(w, "%14d %14d %14d  %s\n", d.Old, d.New, d.Growth, d.Symbol)
+	}
+}

@@ -1,0 +1,224 @@
+package main
+
+import (
+	"bytes"
+	"compress/gzip"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"runtime"
+	"runtime/pprof"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// --- minimal pprof encoder: just enough wire format for the tests to
+// author profiles with exact per-symbol values ---
+
+func pvarint(b []byte, v uint64) []byte {
+	for v >= 0x80 {
+		b = append(b, byte(v)|0x80)
+		v >>= 7
+	}
+	return append(b, byte(v))
+}
+
+func pfield(b []byte, num int, payload []byte) []byte {
+	b = pvarint(b, uint64(num)<<3|2)
+	b = pvarint(b, uint64(len(payload)))
+	return append(b, payload...)
+}
+
+func pint(b []byte, num int, v uint64) []byte {
+	b = pvarint(b, uint64(num)<<3)
+	return pvarint(b, v)
+}
+
+// writeProfile authors a gzipped single-column profile where each
+// symbol has one sample of the given flat value.
+func writeProfile(t *testing.T, path, typ, unit string, flat map[string]int64) {
+	t.Helper()
+	strs := []string{"", typ, unit}
+	strIdx := func(s string) uint64 {
+		for i, have := range strs {
+			if have == s {
+				return uint64(i)
+			}
+		}
+		strs = append(strs, s)
+		return uint64(len(strs) - 1)
+	}
+
+	var body []byte
+	// sample_type
+	var vt []byte
+	vt = pint(vt, 1, strIdx(typ))
+	vt = pint(vt, 2, strIdx(unit))
+	body = pfield(body, 1, vt)
+
+	id := uint64(0)
+	// Stable iteration so ids are deterministic across runs.
+	syms := make([]string, 0, len(flat))
+	for s := range flat {
+		syms = append(syms, s)
+	}
+	sort.Strings(syms)
+	for _, sym := range syms {
+		id++
+		// function{id, name}
+		var fn []byte
+		fn = pint(fn, 1, id)
+		fn = pint(fn, 2, strIdx(sym))
+		body = pfield(body, 5, fn)
+		// location{id, line{function_id}}
+		var line []byte
+		line = pint(line, 1, id)
+		var loc []byte
+		loc = pint(loc, 1, id)
+		loc = pfield(loc, 4, line)
+		body = pfield(body, 4, loc)
+		// sample{location_id (packed), value (packed)}
+		var sm []byte
+		sm = pfield(sm, 1, pvarint(nil, id))
+		sm = pfield(sm, 2, pvarint(nil, uint64(flat[sym])))
+		body = pfield(body, 2, sm)
+	}
+	var full []byte
+	for _, s := range strs {
+		full = pfield(full, 6, []byte(s))
+	}
+	full = append(full, body...)
+
+	var buf bytes.Buffer
+	zw := gzip.NewWriter(&buf)
+	if _, err := zw.Write(full); err != nil {
+		t.Fatal(err)
+	}
+	if err := zw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGrowthPastThresholdFailsWithTopSymbols(t *testing.T) {
+	dir := t.TempDir()
+	oldP := filepath.Join(dir, "old.pprof")
+	newP := filepath.Join(dir, "new.pprof")
+	writeProfile(t, oldP, "inuse_space", "bytes", map[string]int64{
+		"pkg.stable": 1000, "pkg.grower": 1000,
+	})
+	writeProfile(t, newP, "inuse_space", "bytes", map[string]int64{
+		"pkg.stable": 1000, "pkg.grower": 4000, "pkg.fresh": 500,
+	})
+	var out, errb strings.Builder
+	if code := run([]string{"-json", oldP, newP}, &out, &errb); code != 1 {
+		t.Fatalf("exit = %d, want 1; stderr: %s", code, errb.String())
+	}
+	var rep report
+	if err := json.Unmarshal([]byte(out.String()), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.SampleType != "inuse_space/bytes" || !rep.Regression {
+		t.Fatalf("report = %+v", rep)
+	}
+	if rep.OldTotal != 2000 || rep.NewTotal != 5500 {
+		t.Fatalf("totals = %d -> %d, want 2000 -> 5500", rep.OldTotal, rep.NewTotal)
+	}
+	if len(rep.Top) != 2 || rep.Top[0].Symbol != "pkg.grower" || rep.Top[0].Growth != 3000 {
+		t.Fatalf("top = %+v, want pkg.grower +3000 then pkg.fresh +500", rep.Top)
+	}
+	if rep.Top[1].Symbol != "pkg.fresh" || rep.Top[1].Old != 0 {
+		t.Fatalf("top[1] = %+v, want fresh symbol with old=0", rep.Top[1])
+	}
+}
+
+func TestWithinThresholdPasses(t *testing.T) {
+	dir := t.TempDir()
+	oldP := filepath.Join(dir, "old.pprof")
+	newP := filepath.Join(dir, "new.pprof")
+	writeProfile(t, oldP, "inuse_space", "bytes", map[string]int64{"pkg.f": 1000})
+	writeProfile(t, newP, "inuse_space", "bytes", map[string]int64{"pkg.f": 1100})
+	var out, errb strings.Builder
+	if code := run([]string{oldP, newP}, &out, &errb); code != 0 {
+		t.Fatalf("exit = %d, want 0; stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "1000 -> 1100") {
+		t.Fatalf("table output missing totals: %s", out.String())
+	}
+}
+
+func TestTopFlagBounds(t *testing.T) {
+	dir := t.TempDir()
+	oldP := filepath.Join(dir, "old.pprof")
+	newP := filepath.Join(dir, "new.pprof")
+	writeProfile(t, oldP, "inuse_space", "bytes", map[string]int64{"a": 1, "b": 1, "c": 1})
+	writeProfile(t, newP, "inuse_space", "bytes", map[string]int64{"a": 10, "b": 20, "c": 30})
+	var out, errb strings.Builder
+	if code := run([]string{"-json", "-top", "2", "-threshold", "100", oldP, newP}, &out, &errb); code != 0 {
+		t.Fatalf("exit = %d, want 0 under huge threshold; stderr: %s", code, errb.String())
+	}
+	var rep report
+	if err := json.Unmarshal([]byte(out.String()), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Top) != 2 || rep.Top[0].Symbol != "c" || rep.Top[1].Symbol != "b" {
+		t.Fatalf("top = %+v, want [c b]", rep.Top)
+	}
+}
+
+func TestCrossTypeRefused(t *testing.T) {
+	dir := t.TempDir()
+	oldP := filepath.Join(dir, "old.pprof")
+	newP := filepath.Join(dir, "new.pprof")
+	writeProfile(t, oldP, "cpu", "nanoseconds", map[string]int64{"f": 100})
+	writeProfile(t, newP, "inuse_space", "bytes", map[string]int64{"f": 100})
+	var out, errb strings.Builder
+	if code := run([]string{oldP, newP}, &out, &errb); code != 2 {
+		t.Fatalf("exit = %d, want 2 on cross-type diff", code)
+	}
+	if !strings.Contains(errb.String(), "refused") {
+		t.Fatalf("stderr = %s, want refusal", errb.String())
+	}
+}
+
+func TestUsageAndMissingFiles(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"only-one.pprof"}, &out, &errb); code != 2 {
+		t.Fatalf("exit = %d, want 2 on bad arity", code)
+	}
+	if code := run([]string{"/nonexistent/a", "/nonexistent/b"}, &out, &errb); code != 2 {
+		t.Fatalf("exit = %d, want 2 on unreadable files", code)
+	}
+}
+
+// TestRealHeapProfiles feeds profdiff two captures from this very
+// process — the integration the tool exists for.
+func TestRealHeapProfiles(t *testing.T) {
+	dir := t.TempDir()
+	snap := func(name string) string {
+		runtime.GC()
+		path := filepath.Join(dir, name)
+		f, err := os.Create(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.Lookup("heap").WriteTo(f, 0); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	oldP := snap("old.pprof")
+	newP := snap("new.pprof")
+	var out, errb strings.Builder
+	code := run([]string{"-type", "alloc_space", "-threshold", "1e9", oldP, newP}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0; stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "alloc_space/bytes") {
+		t.Fatalf("output missing sample type: %s", out.String())
+	}
+}

@@ -14,6 +14,9 @@
 //	        [-drain-timeout DUR] [-trace-bytes N] [-max-body N]
 //	        [-log-level LEVEL] [-log-format FMT]
 //	        [-slo-latency SPEC] [-slo-availability PCT]
+//	        [-profile-dir DIR] [-profile-interval DUR]
+//	        [-profile-cpu-duration DUR] [-profile-max-captures N]
+//	        [-profile-max-bytes N]
 //	        [-faults SPEC]
 //
 // The API lives under /api/v1 (submit POST /api/v1/jobs, poll
@@ -33,6 +36,12 @@
 // -slo-latency "p99<2s" and -slo-availability "99.9" arm the SLO
 // tracker: rolling error-budget burn-rate gauges in /metrics, meters on
 // the dashboard, and status in /readyz.
+//
+// -profile-dir arms the continuous profiling ring: periodic CPU and
+// heap pprof captures into a bounded on-disk ring (oldest evicted past
+// -profile-max-captures / -profile-max-bytes), listed and downloadable
+// at /debug/profiles — a post-incident profile exists without anyone
+// having been attached. Diff two captures with `profdiff`.
 //
 // On SIGTERM or SIGINT the daemon drains: new submissions get 503 +
 // Retry-After, jobs still queued finish as "rejected", and in-flight
@@ -94,6 +103,11 @@ func run() int {
 	logFormat := flag.String("log-format", "json", "log encoding: json or text")
 	sloLatency := flag.String("slo-latency", "", "latency SLO, e.g. \"p99<2s\" (empty: no latency objective)")
 	sloAvailability := flag.String("slo-availability", "", "availability SLO as a percent of jobs that must decide, e.g. \"99.9\" (empty: off)")
+	profileDir := flag.String("profile-dir", "", "continuous profiling ring directory (empty: off); serves /debug/profiles")
+	profileInterval := flag.Duration("profile-interval", time.Minute, "spacing between periodic capture rounds")
+	profileCPUDur := flag.Duration("profile-cpu-duration", 10*time.Second, "CPU sampling window per round (clamped to half the interval)")
+	profileMaxCaptures := flag.Int("profile-max-captures", 32, "retained capture files before oldest-first eviction")
+	profileMaxBytes := flag.Int64("profile-max-bytes", 64<<20, "retained capture bytes before oldest-first eviction")
 	faultSpec := flag.String("faults", os.Getenv("SEQVERD_FAULTS"),
 		"deterministic fault-injection spec for chaos testing, e.g. \"seed=7,worker_panic=0.2\" (default $SEQVERD_FAULTS; empty: off)")
 	flag.Parse()
@@ -149,6 +163,12 @@ func run() int {
 		MemCeilingBytes: *memCeiling,
 		Logger:          logger,
 		Objectives:      objectives,
+
+		ProfileDir:         *profileDir,
+		ProfileInterval:    *profileInterval,
+		ProfileCPUDuration: *profileCPUDur,
+		ProfileMaxCaptures: *profileMaxCaptures,
+		ProfileMaxBytes:    *profileMaxBytes,
 	})
 	if err != nil {
 		return fail(err)

@@ -35,6 +35,22 @@ type WorkerResult struct {
 	// PhaseNS breaks the last iteration's wall clock down by engine
 	// phase (span name -> cumulative ns), from an obs.SummarySink.
 	PhaseNS map[string]int64 `json:"phase_ns,omitempty"`
+	// Allocation profile of the measured iterations — per-op averages
+	// from runtime/metrics deltas around the timed loop. Zero in files
+	// predating the alloc schema; Compare skips the alloc gate for such
+	// rows. These are the numbers the ROADMAP's struct-of-arrays
+	// refactor must move.
+	AllocsPerOp int64 `json:"allocs_per_op,omitempty"`
+	BytesPerOp  int64 `json:"bytes_per_op,omitempty"`
+	// GCPauseNSOp is the estimated stop-the-world pause accrued per op
+	// (bucket-resolution, from the runtime's pause histogram).
+	GCPauseNSOp int64 `json:"gc_pause_ns_op,omitempty"`
+	// MaxNSOp and SpreadRatio (max/min ns per op across all iterations
+	// of all -count repeats) record the row's measured run-to-run
+	// spread — the variance the benchdiff noise threshold is calibrated
+	// from (EXPERIMENTS.md).
+	MaxNSOp     int64   `json:"max_ns_op,omitempty"`
+	SpreadRatio float64 `json:"spread_ratio,omitempty"`
 }
 
 // BudgetResult is one rung of the wall-clock budget sweep.
@@ -55,10 +71,13 @@ type Report struct {
 	// SATMode is the solver-state policy of the run ("incremental" or
 	// "fresh"); empty in files predating the mode split, which Compare
 	// treats as matching anything.
-	SATMode     string         `json:"sat_mode,omitempty"`
-	Outputs     int            `json:"outputs"`
-	GOMAXPROCS  int            `json:"gomaxprocs"`
-	NumCPU      int            `json:"num_cpu"`
+	SATMode    string `json:"sat_mode,omitempty"`
+	Outputs    int    `json:"outputs"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"num_cpu"`
+	// Count is the -count repeat factor the rows were measured with
+	// (0/absent means 1: a single sweep).
+	Count       int            `json:"count,omitempty"`
 	Date        string         `json:"date"`
 	Results     []WorkerResult `json:"results"`
 	BudgetSweep []BudgetResult `json:"budget_sweep,omitempty"`

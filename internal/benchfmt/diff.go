@@ -22,12 +22,25 @@ type DiffOptions struct {
 	// default: a mode change is a different solver policy, and an
 	// accidental comparison would hide (or fake) a regression.
 	AllowModeMismatch bool
+	// AllocThreshold is the new/old bytes_per_op ratio above which
+	// allocation growth counts as a regression; it has its own (tighter)
+	// default because allocation volume is nearly deterministic where
+	// wall clock is noisy. Values <= 1 select DefaultAllocThreshold.
+	// Rows missing alloc fields on either side (files predating the
+	// alloc schema) skip the gate.
+	AllocThreshold float64
 }
 
 // DefaultThreshold tolerates 25% run-to-run noise — calibrated against
 // repeated cecbench runs on an otherwise idle 1-CPU container (see
 // EXPERIMENTS.md, "benchdiff noise threshold").
 const DefaultThreshold = 1.25
+
+// DefaultAllocThreshold tolerates 10% bytes/op growth. Allocation
+// volume barely varies run to run (the work is deterministic; only GC
+// timing is not), so the alloc gate can be much tighter than the
+// wall-clock gate.
+const DefaultAllocThreshold = 1.10
 
 // Delta is one compared row.
 type Delta struct {
@@ -37,6 +50,14 @@ type Delta struct {
 	Ratio   float64 `json:"ratio"` // new/old; >1 is slower
 	// Regression is true when Ratio exceeds the threshold.
 	Regression bool `json:"regression"`
+	// Allocation comparison (worker rows only; zero when either side
+	// predates the alloc schema).
+	OldBytesOp int64   `json:"old_bytes_op,omitempty"`
+	NewBytesOp int64   `json:"new_bytes_op,omitempty"`
+	AllocRatio float64 `json:"alloc_ratio,omitempty"` // new/old bytes per op
+	// AllocRegression is true when AllocRatio exceeds the alloc
+	// threshold.
+	AllocRegression bool `json:"alloc_regression,omitempty"`
 	// Note carries row-level caveats (oversubscription warnings from
 	// either file, undecided-output count changes on budget rungs).
 	Note string `json:"note,omitempty"`
@@ -50,6 +71,10 @@ type Diff struct {
 	Deltas      []Delta  `json:"deltas"`
 	Missing     []string `json:"missing,omitempty"` // rows present in only one file
 	Regressions int      `json:"regressions"`
+	// AllocThreshold / AllocRegressions mirror Threshold / Regressions
+	// for the bytes-per-op gate.
+	AllocThreshold   float64 `json:"alloc_threshold,omitempty"`
+	AllocRegressions int     `json:"alloc_regressions,omitempty"`
 }
 
 // Compare diffs base (the committed reference) against head (the
@@ -78,7 +103,11 @@ func Compare(base, head *Report, opt DiffOptions) (*Diff, error) {
 	if thr <= 1 {
 		thr = DefaultThreshold
 	}
-	d := &Diff{Circuit: base.Circuit, Engine: base.Engine, Threshold: thr}
+	athr := opt.AllocThreshold
+	if athr <= 1 {
+		athr = DefaultAllocThreshold
+	}
+	d := &Diff{Circuit: base.Circuit, Engine: base.Engine, Threshold: thr, AllocThreshold: athr}
 
 	oldW := map[int]WorkerResult{}
 	for _, r := range base.Results {
@@ -98,6 +127,11 @@ func Compare(base, head *Report, opt DiffOptions) (*Diff, error) {
 		}
 		delta := makeDelta(key, or.MinNSOp, nr.MinNSOp, thr)
 		delta.Note = joinNotes(or.Warning, nr.Warning)
+		if or.BytesPerOp > 0 && nr.BytesPerOp > 0 {
+			delta.OldBytesOp, delta.NewBytesOp = or.BytesPerOp, nr.BytesPerOp
+			delta.AllocRatio = float64(nr.BytesPerOp) / float64(or.BytesPerOp)
+			delta.AllocRegression = delta.AllocRatio > athr
+		}
 		d.add(delta)
 	}
 	for _, or := range base.Results {
@@ -147,6 +181,9 @@ func makeDelta(key string, oldNS, newNS int64, thr float64) Delta {
 func (d *Diff) add(delta Delta) {
 	if delta.Regression {
 		d.Regressions++
+	}
+	if delta.AllocRegression {
+		d.AllocRegressions++
 	}
 	d.Deltas = append(d.Deltas, delta)
 }

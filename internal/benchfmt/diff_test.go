@@ -220,6 +220,99 @@ func TestCompareNotes(t *testing.T) {
 	}
 }
 
+// allocReport is sampleReport with allocation numbers on the worker
+// rows, as cecbench has recorded since the alloc schema landed.
+func allocReport() *Report {
+	r := sampleReport()
+	for i := range r.Results {
+		r.Results[i].AllocsPerOp = 10_000
+		r.Results[i].BytesPerOp = 1 << 20
+		r.Results[i].GCPauseNSOp = 50_000
+	}
+	return r
+}
+
+func TestCompareAllocIdentical(t *testing.T) {
+	d, err := Compare(allocReport(), allocReport(), DiffOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.AllocRegressions != 0 {
+		t.Fatalf("identical alloc profiles: %d alloc regressions, want 0", d.AllocRegressions)
+	}
+	if d.AllocThreshold != DefaultAllocThreshold {
+		t.Fatalf("alloc threshold = %v, want default %v", d.AllocThreshold, DefaultAllocThreshold)
+	}
+	for _, delta := range d.Deltas {
+		if strings.HasPrefix(delta.Key, "workers=") && delta.AllocRatio != 1 {
+			t.Errorf("%s: alloc ratio %v, want 1", delta.Key, delta.AllocRatio)
+		}
+	}
+}
+
+func TestCompareAllocRegression(t *testing.T) {
+	head := allocReport()
+	head.Results[0].BytesPerOp = head.Results[0].BytesPerOp * 3 / 2 // 1.5x growth
+	d, err := Compare(allocReport(), head, DiffOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.AllocRegressions != 1 {
+		t.Fatalf("1.5x bytes/op growth: %d alloc regressions, want 1", d.AllocRegressions)
+	}
+	if d.Regressions != 0 {
+		t.Fatalf("alloc-only growth flagged as a time regression: %d", d.Regressions)
+	}
+	var hit *Delta
+	for i := range d.Deltas {
+		if d.Deltas[i].Key == "workers=1" {
+			hit = &d.Deltas[i]
+		}
+	}
+	if hit == nil || !hit.AllocRegression || hit.AllocRatio != 1.5 {
+		t.Fatalf("workers=1 delta = %+v, want alloc regression at 1.5x", hit)
+	}
+	if hit.Regression {
+		t.Fatalf("workers=1 delta marked as time regression too: %+v", hit)
+	}
+}
+
+func TestCompareAllocThresholdOption(t *testing.T) {
+	head := allocReport()
+	head.Results[0].BytesPerOp = allocReport().Results[0].BytesPerOp * 115 / 100 // 1.15x
+	if d, _ := Compare(allocReport(), head, DiffOptions{AllocThreshold: 1.20}); d.AllocRegressions != 0 {
+		t.Fatalf("1.15x under a 1.20x alloc threshold flagged")
+	}
+	if d, _ := Compare(allocReport(), head, DiffOptions{AllocThreshold: 1.05}); d.AllocRegressions != 1 {
+		t.Fatalf("1.15x over a 1.05x alloc threshold not flagged")
+	}
+	if d, _ := Compare(allocReport(), allocReport(), DiffOptions{AllocThreshold: 0.5}); d.AllocThreshold != DefaultAllocThreshold {
+		t.Fatalf("alloc threshold %v, want default fallback", d.AllocThreshold)
+	}
+}
+
+func TestCompareAllocSkipsLegacyRows(t *testing.T) {
+	// A baseline recorded before the alloc schema has BytesPerOp == 0 on
+	// every row; the gate must skip, not divide by zero or flag 0 -> N
+	// as infinite growth.
+	d, err := Compare(sampleReport(), allocReport(), DiffOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.AllocRegressions != 0 {
+		t.Fatalf("legacy baseline vs alloc head: %d alloc regressions, want 0 (gate skipped)", d.AllocRegressions)
+	}
+	for _, delta := range d.Deltas {
+		if delta.AllocRatio != 0 {
+			t.Errorf("%s: alloc ratio %v on a legacy comparison, want 0", delta.Key, delta.AllocRatio)
+		}
+	}
+	// And the mirror: alloc baseline vs legacy head.
+	if d, _ := Compare(allocReport(), sampleReport(), DiffOptions{}); d.AllocRegressions != 0 {
+		t.Fatalf("alloc baseline vs legacy head: %d alloc regressions, want 0", d.AllocRegressions)
+	}
+}
+
 func TestReadRejectsUnknownFields(t *testing.T) {
 	_, err := Read(strings.NewReader(`{"circuit":"x","engine":"sat","bogus":1}`))
 	if err == nil {

@@ -252,12 +252,14 @@ func Unroll(c *netlist.Circuit) (*netlist.Circuit, error) {
 // cost). The unrolling itself is pure and runs to completion.
 func UnrollCtx(ctx context.Context, c *netlist.Circuit) (*netlist.Circuit, error) {
 	_, sp := obs.Start1(ctx, "cbf.unroll", obs.S("circuit", c.Name))
+	mem := obs.SpanMem(sp)
 	out, err := Unroll(c)
 	if sp != nil {
 		if err == nil {
 			sp.Gauge("cbf.gates", int64(out.NumGates()))
 			sp.Gauge("cbf.timed_inputs", int64(len(out.Inputs)))
 		}
+		mem.End()
 		sp.End()
 	}
 	return out, err

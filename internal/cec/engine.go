@@ -68,7 +68,11 @@ func checkSAT(ctx context.Context, a *aig.AIG, piNames []string, pos1, pos2 []ai
 
 	// Stage 1: random simulation looks for cheap counterexamples.
 	sctx, ssp := obs.Start(ctx, "sim")
+	smem := obs.SpanMem(ssp)
+	sctx, srestore := obs.PhaseLabel(sctx, "sim")
 	hit := simStage(sctx, a, pos1, pos2, opt, st)
+	srestore()
+	smem.End()
 	ssp.End()
 	mreg.Counter("seqver_sim_patterns_total",
 		"Random input vectors simulated in stage 1.").Add(st.SimPatterns)
@@ -88,14 +92,18 @@ func checkSAT(ctx context.Context, a *aig.AIG, piNames []string, pos1, pos2 []ai
 	if engine != "sat" {
 		st.FraigNodesBefore = a.NumAnds()
 		fctx, fsp := obs.Start(ctx, "fraig")
+		fmem := obs.SpanMem(fsp)
+		fctx, frestore := obs.PhaseLabel(fctx, "fraig")
 		af, fst := aig.FraigExCtx(fctx, a, aig.FraigOptions{
 			Seed: opt.Seed, MaxConflicts: 1000, Workers: workers,
 		})
+		frestore()
 		if fsp != nil {
 			fsp.Gauge("fraig.nodes_before", int64(st.FraigNodesBefore))
 			fsp.Gauge("fraig.nodes_after", int64(fst.NodesAfter))
 			fsp.Gauge("fraig.merges", int64(fst.Merges))
 		}
+		fmem.End()
 		fsp.End()
 		st.FraigNodesAfter = fst.NodesAfter
 		st.FraigMerges = fst.Merges
@@ -342,6 +350,10 @@ type workerState struct {
 func proveMiters(ctx context.Context, e *proveEnv, workers int, res *Result, st *Stats) {
 	ctx, msp := obs.Start(ctx, "miters")
 	defer msp.End()
+	mmem := obs.SpanMem(msp)
+	defer mmem.End() // LIFO: memory gauges land before the span closes
+	ctx, mrestore := obs.PhaseLabel(ctx, "miters")
+	defer mrestore() // pool goroutines inherit job_id+phase at spawn
 	n := len(e.pos1)
 	perOut := make([]OutputStats, n)
 	var pending []int

@@ -268,12 +268,14 @@ func (cx *Ctx) Unroll(c *netlist.Circuit) (*netlist.Circuit, error) {
 // metric).
 func (cx *Ctx) UnrollCtx(ctx context.Context, c *netlist.Circuit) (*netlist.Circuit, error) {
 	_, sp := obs.Start1(ctx, "edbf.unroll", obs.S("circuit", c.Name))
+	mem := obs.SpanMem(sp)
 	out, err := cx.unroll(c)
 	if sp != nil {
 		if err == nil {
 			sp.Gauge("edbf.gates", int64(out.NumGates()))
 			sp.Gauge("edbf.events", int64(cx.NumEvents()))
 		}
+		mem.End()
 		sp.End()
 	}
 	return out, err

@@ -33,6 +33,13 @@ type Sample struct {
 	// the sampling interval (0 when no job finished in the window).
 	P50Seconds float64 `json:"p50_seconds"`
 	P99Seconds float64 `json:"p99_seconds"`
+	// Runtime telemetry from the RuntimeCollector: heap in use and live
+	// goroutines at the tick, the allocation rate over the interval, and
+	// the windowed p99 stop-the-world GC pause (0 when no GC ran).
+	HeapInuseBytes    int64   `json:"heap_inuse_bytes"`
+	Goroutines        int64   `json:"goroutines"`
+	AllocBytesPerSec  float64 `json:"alloc_bytes_per_sec"`
+	GCPauseP99Seconds float64 `json:"gc_pause_p99_seconds"`
 }
 
 // TimeSeries is a fixed-capacity ring of Samples — the daemon's

@@ -1,0 +1,61 @@
+package obs
+
+import (
+	"context"
+	"runtime/pprof"
+)
+
+// runtime/pprof label plumbing: CPU (and goroutine) profiles collected
+// from a live daemon are only useful if samples can be sliced by job
+// and phase. The obs baggage already carries the correlation ids
+// (job_id, request_id) for spans and logs; these helpers project the
+// same attributes onto runtime/pprof goroutine labels, so `go tool
+// pprof -tagfocus job_id=...` works on any capture — including ones
+// taken while no tracer was installed (labels ride the goroutine, not
+// the event stream).
+//
+// Labels are inherited by goroutines started from a labeled goroutine,
+// so stamping the job worker once covers every miter-pool goroutine it
+// spawns. The calls allocate (they build a label map); use them at
+// coarse boundaries only — once per job, once per phase — never inside
+// the per-miter hot path.
+
+// GoroutineLabels applies the context's string baggage attributes
+// (job_id, request_id, …) plus any extra key/value pairs as
+// runtime/pprof labels on the current goroutine, returning the labeled
+// context and a restore function that reinstates the goroutine's
+// previous label set. With no baggage and no extras it is a no-op
+// returning the context unchanged.
+func GoroutineLabels(ctx context.Context, extras ...string) (context.Context, func()) {
+	bg := BaggageFrom(ctx)
+	if len(bg) == 0 && len(extras) == 0 {
+		return ctx, func() {}
+	}
+	pairs := make([]string, 0, 2*len(bg)+len(extras))
+	for _, a := range bg {
+		if a.IsStr {
+			pairs = append(pairs, a.Key, a.Str)
+		}
+	}
+	pairs = append(pairs, extras...)
+	prev := ctx // the unlabeled (or outer-labeled) context
+	lctx := pprof.WithLabels(ctx, pprof.Labels(pairs...))
+	pprof.SetGoroutineLabels(lctx)
+	return lctx, func() { pprof.SetGoroutineLabels(prev) }
+}
+
+// PhaseLabel stamps the current goroutine with a "phase" pprof label on
+// top of whatever labels the context already carries (job_id from
+// GoroutineLabels survives — WithLabels merges). The restore function
+// reverts to the pre-phase label set. Goroutines spawned while the
+// phase label is set inherit it.
+func PhaseLabel(ctx context.Context, phase string) (context.Context, func()) {
+	return GoroutineLabels(ctx, "phase", phase)
+}
+
+// ApplyGoroutineLabels applies ctx's pprof label set to the current
+// goroutine — for pool goroutines that outlive one labeled region and
+// re-enter with each work item's context.
+func ApplyGoroutineLabels(ctx context.Context) {
+	pprof.SetGoroutineLabels(ctx)
+}

@@ -1,0 +1,52 @@
+package obs
+
+import (
+	"context"
+	"runtime/pprof"
+	"testing"
+)
+
+func labelValue(ctx context.Context, key string) (string, bool) {
+	return pprof.Label(ctx, key)
+}
+
+// TestGoroutineLabelsFromBaggage checks that string baggage attributes
+// become pprof labels, extras are appended, and restore reinstates the
+// previous label set.
+func TestGoroutineLabelsFromBaggage(t *testing.T) {
+	ctx := WithBaggage(context.Background(),
+		S("job_id", "job-42"), S("request_id", "req-7"), I("attempt", 3))
+
+	lctx, restore := GoroutineLabels(ctx)
+	if v, ok := labelValue(lctx, "job_id"); !ok || v != "job-42" {
+		t.Fatalf("job_id label = %q, %v; want job-42", v, ok)
+	}
+	if v, ok := labelValue(lctx, "request_id"); !ok || v != "req-7" {
+		t.Fatalf("request_id label = %q, %v; want req-7", v, ok)
+	}
+	// Non-string baggage is skipped, not stringified.
+	if _, ok := labelValue(lctx, "attempt"); ok {
+		t.Fatal("int baggage attr must not become a pprof label")
+	}
+	restore()
+
+	// Phase label stacks on top of the job label.
+	pctx, prestore := PhaseLabel(lctx, "fraig")
+	if v, ok := labelValue(pctx, "phase"); !ok || v != "fraig" {
+		t.Fatalf("phase label = %q, %v; want fraig", v, ok)
+	}
+	if v, ok := labelValue(pctx, "job_id"); !ok || v != "job-42" {
+		t.Fatalf("job_id label lost under phase label: %q, %v", v, ok)
+	}
+	prestore()
+}
+
+// TestGoroutineLabelsNoBaggage pins the no-op fast path.
+func TestGoroutineLabelsNoBaggage(t *testing.T) {
+	ctx := context.Background()
+	lctx, restore := GoroutineLabels(ctx)
+	if lctx != ctx {
+		t.Fatal("no baggage, no extras: context must be returned unchanged")
+	}
+	restore()
+}

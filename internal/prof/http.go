@@ -1,0 +1,46 @@
+package prof
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+)
+
+// Handler serves the ring over HTTP:
+//
+//	GET /            JSON capture list, newest first
+//	GET /{name}      one capture, as raw pprof bytes
+//
+// Mount it under /debug/profiles with http.StripPrefix (DebugMux and
+// the serve handler both do). Captures are immutable once renamed into
+// place, so downloads need no locking against the capture loop.
+func (r *Ring) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /{$}", func(w http.ResponseWriter, req *http.Request) {
+		caps, err := r.List()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(struct {
+			Captures []Capture `json:"captures"`
+		}{Captures: caps})
+	})
+	mux.HandleFunc("GET /{name}", func(w http.ResponseWriter, req *http.Request) {
+		f, err := r.Open(req.PathValue("name"))
+		if err != nil {
+			status := http.StatusInternalServerError
+			if os.IsNotExist(err) {
+				status = http.StatusNotFound
+			}
+			http.Error(w, http.StatusText(status), status)
+			return
+		}
+		defer f.Close()
+		w.Header().Set("Content-Type", "application/octet-stream")
+		io.Copy(w, f)
+	})
+	return mux
+}

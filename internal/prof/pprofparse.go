@@ -1,0 +1,317 @@
+package prof
+
+import (
+	"bytes"
+	"compress/gzip"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// A hand-rolled reader for the pprof profile.proto wire format —
+// cmd/profdiff needs "flat value per function symbol" from a capture,
+// and the repo takes no dependencies, so this decodes just the fields
+// that answer that question:
+//
+//	Profile:  sample_type=1, sample=2, location=4, function=5,
+//	          string_table=6
+//	Sample:   location_id=1 (repeated/packed), value=2 (repeated/packed)
+//	Location: id=1, line=4 (repeated)
+//	Line:     function_id=1
+//	Function: id=1, name=2 (string-table index)
+//	ValueType: type=1, unit=2 (string-table indexes)
+//
+// Unknown fields are skipped by wire type, so profiles from any Go
+// release parse. The flat value of a sample is attributed to its leaf
+// location (location_id[0]); a location's symbol is its innermost line
+// (line[0]), which folds inlined frames into their physical function.
+
+// Profile is the subset of a parsed pprof capture profdiff consumes.
+type Profile struct {
+	// SampleTypes names each value column, as "type/unit" — e.g.
+	// "cpu/nanoseconds", "inuse_space/bytes".
+	SampleTypes []string
+	// Flat maps function symbol -> summed value of samples whose leaf
+	// frame is in that function, one map per value column.
+	Flat []map[string]int64
+	// Total is the column-wise sum over all samples.
+	Total []int64
+}
+
+// FlatBy returns the flat map for the sample type named t ("cpu",
+// "inuse_space", …; unit ignored), or the last column if t is empty —
+// pprof convention puts the default display type last (cpu nanoseconds,
+// inuse_space bytes).
+func (p *Profile) FlatBy(t string) (map[string]int64, int64, error) {
+	if len(p.Flat) == 0 {
+		return nil, 0, fmt.Errorf("prof: profile has no sample values")
+	}
+	if t == "" {
+		return p.Flat[len(p.Flat)-1], p.Total[len(p.Total)-1], nil
+	}
+	for i, st := range p.SampleTypes {
+		if name, _, _ := strings.Cut(st, "/"); name == t {
+			return p.Flat[i], p.Total[i], nil
+		}
+	}
+	return nil, 0, fmt.Errorf("prof: no sample type %q (have %v)", t, p.SampleTypes)
+}
+
+// ParseProfile decodes a (possibly gzipped) pprof capture.
+func ParseProfile(r io.Reader) (*Profile, error) {
+	br, err := maybeGunzip(r)
+	if err != nil {
+		return nil, err
+	}
+	data, err := io.ReadAll(br)
+	if err != nil {
+		return nil, err
+	}
+	return parseProfileProto(data)
+}
+
+func maybeGunzip(r io.Reader) (io.Reader, error) {
+	head := make([]byte, 2)
+	n, err := io.ReadFull(r, head)
+	if err != nil && err != io.ErrUnexpectedEOF {
+		return nil, err
+	}
+	rest := io.MultiReader(bytes.NewReader(head[:n]), r)
+	if n == 2 && head[0] == 0x1f && head[1] == 0x8b {
+		return gzip.NewReader(rest)
+	}
+	return rest, nil
+}
+
+// --- protobuf wire helpers ---
+
+func readVarint(b []byte, i int) (uint64, int, error) {
+	var v uint64
+	for shift := uint(0); shift < 64; shift += 7 {
+		if i >= len(b) {
+			return 0, 0, fmt.Errorf("prof: truncated varint")
+		}
+		c := b[i]
+		i++
+		v |= uint64(c&0x7f) << shift
+		if c&0x80 == 0 {
+			return v, i, nil
+		}
+	}
+	return 0, 0, fmt.Errorf("prof: varint overflow")
+}
+
+// readField decodes one key and returns (fieldNum, wireType, payload,
+// next). For wire type 2 payload is the length-delimited bytes; for
+// type 0 it is nil and the varint value is in val.
+func readField(b []byte, i int) (num int, wt int, val uint64, payload []byte, next int, err error) {
+	key, i, err := readVarint(b, i)
+	if err != nil {
+		return 0, 0, 0, nil, 0, err
+	}
+	num, wt = int(key>>3), int(key&7)
+	switch wt {
+	case 0: // varint
+		val, i, err = readVarint(b, i)
+		return num, wt, val, nil, i, err
+	case 1: // fixed64
+		if i+8 > len(b) {
+			return 0, 0, 0, nil, 0, fmt.Errorf("prof: truncated fixed64")
+		}
+		return num, wt, 0, nil, i + 8, nil
+	case 2: // length-delimited
+		ln, i2, err := readVarint(b, i)
+		if err != nil {
+			return 0, 0, 0, nil, 0, err
+		}
+		if ln > uint64(len(b)-i2) {
+			return 0, 0, 0, nil, 0, fmt.Errorf("prof: truncated bytes field")
+		}
+		return num, wt, 0, b[i2 : i2+int(ln)], i2 + int(ln), nil
+	case 5: // fixed32
+		if i+4 > len(b) {
+			return 0, 0, 0, nil, 0, fmt.Errorf("prof: truncated fixed32")
+		}
+		return num, wt, 0, nil, i + 4, nil
+	default:
+		return 0, 0, 0, nil, 0, fmt.Errorf("prof: unsupported wire type %d", wt)
+	}
+}
+
+// packedVarints decodes a packed repeated varint payload (also accepts
+// the single-value unpacked case the old encoders emit).
+func packedVarints(payload []byte) ([]uint64, error) {
+	var out []uint64
+	for i := 0; i < len(payload); {
+		v, j, err := readVarint(payload, i)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+		i = j
+	}
+	return out, nil
+}
+
+func parseProfileProto(b []byte) (*Profile, error) {
+	var sampleTypeMsgs, sampleMsgs, locMsgs, fnMsgs [][]byte
+	var strtab []string
+	for i := 0; i < len(b); {
+		num, wt, val, payload, next, err := readField(b, i)
+		if err != nil {
+			return nil, err
+		}
+		_ = val
+		if wt == 2 {
+			switch num {
+			case 1:
+				sampleTypeMsgs = append(sampleTypeMsgs, payload)
+			case 2:
+				sampleMsgs = append(sampleMsgs, payload)
+			case 4:
+				locMsgs = append(locMsgs, payload)
+			case 5:
+				fnMsgs = append(fnMsgs, payload)
+			case 6:
+				strtab = append(strtab, string(payload))
+			}
+		}
+		i = next
+	}
+	str := func(idx uint64) string {
+		if idx < uint64(len(strtab)) {
+			return strtab[idx]
+		}
+		return ""
+	}
+
+	// function id -> symbol name
+	fnName := map[uint64]string{}
+	for _, m := range fnMsgs {
+		var id, nameIdx uint64
+		for i := 0; i < len(m); {
+			num, wt, val, payload, next, err := readField(m, i)
+			if err != nil {
+				return nil, err
+			}
+			if wt == 0 {
+				switch num {
+				case 1:
+					id = val
+				case 2:
+					nameIdx = val
+				}
+			}
+			_ = payload
+			i = next
+		}
+		fnName[id] = str(nameIdx)
+	}
+
+	// location id -> leaf symbol (innermost line's function)
+	locSym := map[uint64]string{}
+	for _, m := range locMsgs {
+		var id uint64
+		var firstLineFn uint64
+		haveLine := false
+		for i := 0; i < len(m); {
+			num, wt, val, payload, next, err := readField(m, i)
+			if err != nil {
+				return nil, err
+			}
+			switch {
+			case wt == 0 && num == 1:
+				id = val
+			case wt == 2 && num == 4 && !haveLine:
+				// First Line message: the innermost (inlined-most) frame.
+				for j := 0; j < len(payload); {
+					lnum, lwt, lval, _, lnext, err := readField(payload, j)
+					if err != nil {
+						return nil, err
+					}
+					if lwt == 0 && lnum == 1 {
+						firstLineFn = lval
+						haveLine = true
+					}
+					j = lnext
+				}
+			}
+			i = next
+		}
+		if haveLine {
+			locSym[id] = fnName[firstLineFn]
+		}
+	}
+
+	p := &Profile{}
+	for _, m := range sampleTypeMsgs {
+		var typIdx, unitIdx uint64
+		for i := 0; i < len(m); {
+			num, wt, val, _, next, err := readField(m, i)
+			if err != nil {
+				return nil, err
+			}
+			if wt == 0 {
+				switch num {
+				case 1:
+					typIdx = val
+				case 2:
+					unitIdx = val
+				}
+			}
+			i = next
+		}
+		p.SampleTypes = append(p.SampleTypes, str(typIdx)+"/"+str(unitIdx))
+	}
+	ncol := len(p.SampleTypes)
+	p.Flat = make([]map[string]int64, ncol)
+	for i := range p.Flat {
+		p.Flat[i] = map[string]int64{}
+	}
+	p.Total = make([]int64, ncol)
+
+	for _, m := range sampleMsgs {
+		var locIDs, vals []uint64
+		for i := 0; i < len(m); {
+			num, wt, val, payload, next, err := readField(m, i)
+			if err != nil {
+				return nil, err
+			}
+			switch {
+			case wt == 2 && num == 1:
+				ids, err := packedVarints(payload)
+				if err != nil {
+					return nil, err
+				}
+				locIDs = append(locIDs, ids...)
+			case wt == 0 && num == 1:
+				locIDs = append(locIDs, val)
+			case wt == 2 && num == 2:
+				vs, err := packedVarints(payload)
+				if err != nil {
+					return nil, err
+				}
+				vals = append(vals, vs...)
+			case wt == 0 && num == 2:
+				vals = append(vals, val)
+			}
+			i = next
+		}
+		var sym string
+		if len(locIDs) > 0 {
+			sym = locSym[locIDs[0]] // leaf frame
+		}
+		if sym == "" {
+			sym = "<unknown>"
+		}
+		for c := 0; c < ncol && c < len(vals); c++ {
+			v := int64(vals[c])
+			p.Flat[c][sym] += v
+			p.Total[c] += v
+		}
+	}
+	if ncol == 0 {
+		return nil, fmt.Errorf("prof: no sample types — not a pprof profile?")
+	}
+	return p, nil
+}

@@ -1,0 +1,138 @@
+package prof
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"runtime"
+	"runtime/pprof"
+	"strings"
+	"testing"
+	"time"
+)
+
+// allocSink defeats dead-store elimination so the heap profiler has
+// something attributable to this test to record.
+var allocSink [][]byte
+
+// TestParseHeapProfile round-trips a real heap capture from this
+// process through the hand-rolled parser: the sample-type schema must
+// be the canonical four heap columns and the flat bytes must attribute
+// a deliberately allocation-heavy helper.
+func TestParseHeapProfile(t *testing.T) {
+	allocSink = nil
+	for i := 0; i < 512; i++ {
+		allocSink = append(allocSink, chewMemory())
+	}
+	runtime.GC() // flush the profile's view of live objects
+
+	var buf bytes.Buffer
+	if err := pprof.Lookup("heap").WriteTo(&buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	p, err := ParseProfile(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"alloc_objects/count", "alloc_space/bytes", "inuse_objects/count", "inuse_space/bytes"}
+	if len(p.SampleTypes) != len(want) {
+		t.Fatalf("sample types = %v, want %v", p.SampleTypes, want)
+	}
+	for i, st := range want {
+		if p.SampleTypes[i] != st {
+			t.Fatalf("sample type[%d] = %q, want %q", i, p.SampleTypes[i], st)
+		}
+	}
+
+	flat, total, err := p.FlatBy("inuse_space")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total <= 0 {
+		t.Fatalf("inuse_space total = %d, want > 0", total)
+	}
+	var hit bool
+	for sym, v := range flat {
+		if strings.Contains(sym, "chewMemory") && v > 0 {
+			hit = true
+		}
+	}
+	if !hit {
+		t.Fatalf("chewMemory not attributed in flat inuse_space; symbols: %v", keys(flat))
+	}
+
+	// Default column (empty type) is the last one — inuse_space for heap.
+	dflat, dtotal, err := p.FlatBy("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dtotal != total || len(dflat) != len(flat) {
+		t.Fatalf("default column (%d vals, total %d) != inuse_space (%d vals, total %d)",
+			len(dflat), dtotal, len(flat), total)
+	}
+
+	if _, _, err := p.FlatBy("nonexistent"); err == nil {
+		t.Fatal("FlatBy(nonexistent) succeeded, want error")
+	}
+}
+
+//go:noinline
+func chewMemory() []byte {
+	return make([]byte, 64<<10)
+}
+
+// TestParseRingCapture parses the heap capture a Ring writes to disk —
+// the exact artifact profdiff consumes.
+func TestParseRingCapture(t *testing.T) {
+	dir := t.TempDir()
+	r, err := New(Options{Dir: dir, CPUDuration: 10 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.CaptureNow(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	caps, err := r.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var heap string
+	for _, c := range caps {
+		if c.Kind == "heap" {
+			heap = c.Name
+		}
+	}
+	if heap == "" {
+		t.Fatalf("no heap capture in %v", caps)
+	}
+	f, err := os.Open(filepath.Join(dir, heap))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	p, err := ParseProfile(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := p.FlatBy("inuse_space"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseRejectsGarbage(t *testing.T) {
+	if _, err := ParseProfile(strings.NewReader("not a profile")); err == nil {
+		t.Fatal("parsing garbage succeeded, want error")
+	}
+	if _, err := ParseProfile(strings.NewReader("")); err == nil {
+		t.Fatal("parsing empty input succeeded, want error")
+	}
+}
+
+func keys(m map[string]int64) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

@@ -1,0 +1,310 @@
+// Package prof is the continuous profiling ring: periodic CPU and heap
+// pprof captures written to a bounded on-disk directory, so a
+// post-incident profile exists without anyone having been attached —
+// the flight recorder's sibling for memory and CPU time.
+//
+// The ring is bounded two ways, count and bytes, and enforces both by
+// evicting oldest-first after every capture. Files are written to a
+// temp name in the same directory and renamed into place (the same
+// crash-discipline as the cache spill), so a reader never sees a
+// partial profile and a crash mid-capture leaves only a .tmp to sweep.
+package prof
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+	"os"
+	"path/filepath"
+	"runtime"
+	"runtime/pprof"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"seqver/internal/metrics"
+)
+
+// Options configures a Ring. The zero value is not runnable: Dir is
+// required; everything else has a default.
+type Options struct {
+	// Dir is the capture directory, created if absent.
+	Dir string
+	// Interval is the spacing between periodic capture rounds
+	// (default 60s). Each round takes one CPU and one heap capture.
+	Interval time.Duration
+	// CPUDuration is how long each CPU capture samples (default 10s,
+	// clamped to Interval/2 so rounds cannot overlap).
+	CPUDuration time.Duration
+	// MaxCaptures bounds the number of retained .pprof files
+	// (default 32).
+	MaxCaptures int
+	// MaxBytes bounds the retained files' total size (default 64 MiB).
+	MaxBytes int64
+	// Registry receives capture/eviction counters and the ring-size
+	// gauge; nil means no metrics.
+	Registry *metrics.Registry
+	// Logger receives capture errors; nil discards them.
+	Logger *slog.Logger
+}
+
+func (o Options) withDefaults() Options {
+	if o.Interval <= 0 {
+		o.Interval = 60 * time.Second
+	}
+	if o.CPUDuration <= 0 {
+		o.CPUDuration = 10 * time.Second
+	}
+	if o.CPUDuration > o.Interval/2 {
+		o.CPUDuration = o.Interval / 2
+	}
+	if o.MaxCaptures <= 0 {
+		o.MaxCaptures = 32
+	}
+	if o.MaxBytes <= 0 {
+		o.MaxBytes = 64 << 20
+	}
+	if o.Logger == nil {
+		o.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	return o
+}
+
+// Capture describes one retained profile file.
+type Capture struct {
+	// Name is the file name (the download handle), e.g.
+	// "cpu-20260808T101500.123.pprof".
+	Name string `json:"name"`
+	// Kind is "cpu" or "heap".
+	Kind string `json:"kind"`
+	// SizeBytes is the file size.
+	SizeBytes int64 `json:"size_bytes"`
+	// TakenAt is the capture completion time (file mtime).
+	TakenAt time.Time `json:"taken_at"`
+}
+
+// Ring owns the capture directory and the periodic capture loop.
+type Ring struct {
+	opt     Options
+	stop    chan struct{}
+	done    chan struct{}
+	once    sync.Once
+	started bool // set by Start; guards Stop's wait on done
+
+	captures  *metrics.Counter
+	evictions *metrics.Counter
+	errors    *metrics.Counter
+	bytes     *metrics.Gauge
+
+	// capMu serializes captures: the periodic loop and any CaptureNow
+	// callers share one CPU profiler (the runtime allows only one).
+	capMu sync.Mutex
+}
+
+// New creates the capture directory and returns a Ring without starting
+// the periodic loop — call Start for that, or CaptureNow for one-shot
+// rounds. Leftover .tmp files from a crashed process are swept here.
+func New(opt Options) (*Ring, error) {
+	opt = opt.withDefaults()
+	if opt.Dir == "" {
+		return nil, fmt.Errorf("prof: Options.Dir is required")
+	}
+	if err := os.MkdirAll(opt.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("prof: create dir: %w", err)
+	}
+	ents, err := os.ReadDir(opt.Dir)
+	if err != nil {
+		return nil, fmt.Errorf("prof: read dir: %w", err)
+	}
+	for _, e := range ents {
+		if strings.HasSuffix(e.Name(), ".tmp") {
+			os.Remove(filepath.Join(opt.Dir, e.Name()))
+		}
+	}
+	r := &Ring{
+		opt:  opt,
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+		captures: opt.Registry.Counter("seqver_prof_captures_total",
+			"Profile captures completed by the continuous profiling ring."),
+		evictions: opt.Registry.Counter("seqver_prof_evictions_total",
+			"Profile captures evicted to hold the ring's count/byte bounds."),
+		errors: opt.Registry.Counter("seqver_prof_errors_total",
+			"Profile capture attempts that failed."),
+		bytes: opt.Registry.Gauge("seqver_prof_ring_bytes",
+			"Total bytes retained in the profiling ring."),
+	}
+	r.enforceBounds() // a restart inherits the previous ring; re-bound it
+	return r, nil
+}
+
+// Start launches the periodic capture loop. The first round runs after
+// one interval, not immediately — a deliberate warm-up so startup noise
+// doesn't occupy a ring slot.
+func (r *Ring) Start() {
+	r.started = true
+	go func() {
+		defer close(r.done)
+		t := time.NewTicker(r.opt.Interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				if err := r.CaptureNow(context.Background()); err != nil {
+					r.errors.Inc()
+					r.opt.Logger.Error("profile capture failed", slog.String("err", err.Error()))
+				}
+			case <-r.stop:
+				return
+			}
+		}
+	}()
+}
+
+// Stop halts the periodic loop and waits for an in-flight round to
+// finish (the closed stop channel cuts a running CPU capture short).
+// Safe to call more than once, and without Start.
+func (r *Ring) Stop() {
+	r.once.Do(func() { close(r.stop) })
+	if r.started {
+		<-r.done
+		return
+	}
+	// No loop to join; barrier on any in-flight CaptureNow instead.
+	r.capMu.Lock()
+	defer r.capMu.Unlock()
+}
+
+// CaptureNow takes one capture round — a CPU profile sampled for
+// CPUDuration, then a heap profile — and enforces the ring bounds.
+// Rounds are serialized; the context cancels the CPU sampling wait
+// early (the shortened profile is still kept: partial evidence beats
+// none during a shutdown).
+func (r *Ring) CaptureNow(ctx context.Context) error {
+	r.capMu.Lock()
+	defer r.capMu.Unlock()
+	stamp := time.Now().UTC().Format("20060102T150405.000")
+	if err := r.writeCapture("cpu-"+stamp+".pprof", func(w io.Writer) error {
+		if err := pprof.StartCPUProfile(w); err != nil {
+			return err
+		}
+		select {
+		case <-time.After(r.opt.CPUDuration):
+		case <-ctx.Done():
+		case <-r.stop:
+		}
+		pprof.StopCPUProfile()
+		return nil
+	}); err != nil {
+		return fmt.Errorf("cpu capture: %w", err)
+	}
+	if err := r.writeCapture("heap-"+stamp+".pprof", func(w io.Writer) error {
+		runtime.GC() // an up-to-date heap profile: live objects, not lag
+		return pprof.Lookup("heap").WriteTo(w, 0)
+	}); err != nil {
+		return fmt.Errorf("heap capture: %w", err)
+	}
+	r.captures.Add(2)
+	r.enforceBounds()
+	return nil
+}
+
+// writeCapture streams one profile into name via temp+rename.
+func (r *Ring) writeCapture(name string, fill func(io.Writer) error) error {
+	f, err := os.CreateTemp(r.opt.Dir, name+".*.tmp")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	if err := fill(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, filepath.Join(r.opt.Dir, name))
+}
+
+// List returns the retained captures, newest first.
+func (r *Ring) List() ([]Capture, error) {
+	ents, err := os.ReadDir(r.opt.Dir)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Capture, 0, len(ents))
+	for _, e := range ents {
+		c, ok := captureInfo(e)
+		if !ok {
+			continue
+		}
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if !out[i].TakenAt.Equal(out[j].TakenAt) {
+			return out[i].TakenAt.After(out[j].TakenAt)
+		}
+		return out[i].Name > out[j].Name
+	})
+	return out, nil
+}
+
+// Open returns a reader over one capture by its List name. Only plain
+// names are accepted — anything resembling a path is rejected, so the
+// HTTP download handler cannot be walked out of the ring directory.
+func (r *Ring) Open(name string) (io.ReadCloser, error) {
+	if name == "" || name != filepath.Base(name) || strings.HasPrefix(name, ".") ||
+		!strings.HasSuffix(name, ".pprof") {
+		return nil, os.ErrNotExist
+	}
+	return os.Open(filepath.Join(r.opt.Dir, name))
+}
+
+func captureInfo(e os.DirEntry) (Capture, bool) {
+	name := e.Name()
+	var kind string
+	switch {
+	case strings.HasPrefix(name, "cpu-") && strings.HasSuffix(name, ".pprof"):
+		kind = "cpu"
+	case strings.HasPrefix(name, "heap-") && strings.HasSuffix(name, ".pprof"):
+		kind = "heap"
+	default:
+		return Capture{}, false
+	}
+	fi, err := e.Info()
+	if err != nil {
+		return Capture{}, false
+	}
+	return Capture{Name: name, Kind: kind, SizeBytes: fi.Size(), TakenAt: fi.ModTime()}, true
+}
+
+// enforceBounds deletes oldest captures until both the count and byte
+// caps hold, then refreshes the ring-size gauge.
+func (r *Ring) enforceBounds() {
+	caps, err := r.List() // newest first
+	if err != nil {
+		return
+	}
+	var total int64
+	for _, c := range caps {
+		total += c.SizeBytes
+	}
+	// The newest capture always survives — a byte bound smaller than one
+	// profile must not empty the ring.
+	for len(caps) > 1 {
+		if len(caps) <= r.opt.MaxCaptures && total <= r.opt.MaxBytes {
+			break
+		}
+		victim := caps[len(caps)-1] // oldest
+		if os.Remove(filepath.Join(r.opt.Dir, victim.Name)) == nil {
+			r.evictions.Inc()
+		}
+		total -= victim.SizeBytes
+		caps = caps[:len(caps)-1]
+	}
+	r.bytes.Set(total)
+}

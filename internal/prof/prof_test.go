@@ -1,0 +1,180 @@
+package prof
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"seqver/internal/metrics"
+)
+
+func testRing(t *testing.T, opt Options) *Ring {
+	t.Helper()
+	if opt.Dir == "" {
+		opt.Dir = t.TempDir()
+	}
+	if opt.CPUDuration == 0 {
+		opt.CPUDuration = 10 * time.Millisecond
+	}
+	r, err := New(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestCaptureRound(t *testing.T) {
+	reg := metrics.NewRegistry()
+	r := testRing(t, Options{Registry: reg})
+	if err := r.CaptureNow(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	caps, err := r.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(caps) != 2 {
+		t.Fatalf("got %d captures, want 2 (cpu+heap): %v", len(caps), caps)
+	}
+	kinds := map[string]bool{}
+	for _, c := range caps {
+		kinds[c.Kind] = true
+		if c.SizeBytes <= 0 {
+			t.Errorf("capture %s is empty", c.Name)
+		}
+	}
+	if !kinds["cpu"] || !kinds["heap"] {
+		t.Fatalf("kinds = %v, want cpu and heap", kinds)
+	}
+	if v := reg.Counter("seqver_prof_captures_total", "").Value(); v != 2 {
+		t.Errorf("captures_total = %d, want 2", v)
+	}
+	if v := reg.Gauge("seqver_prof_ring_bytes", "").Value(); v <= 0 {
+		t.Errorf("ring_bytes = %d, want > 0", v)
+	}
+}
+
+func TestRingBounds(t *testing.T) {
+	reg := metrics.NewRegistry()
+	r := testRing(t, Options{MaxCaptures: 4, Registry: reg})
+	for i := 0; i < 4; i++ {
+		if err := r.CaptureNow(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+		// Distinct mtimes so eviction order is deterministic.
+		time.Sleep(5 * time.Millisecond)
+	}
+	caps, _ := r.List()
+	if len(caps) != 4 {
+		t.Fatalf("got %d captures, want 4 (count cap)", len(caps))
+	}
+	if reg.Counter("seqver_prof_evictions_total", "").Value() != 4 {
+		t.Errorf("evictions = %d, want 4 (8 captured, 4 retained)",
+			reg.Counter("seqver_prof_evictions_total", "").Value())
+	}
+	// The survivors are the newest: the last round is present.
+	for _, c := range caps[:2] {
+		if time.Since(c.TakenAt) > time.Minute {
+			t.Errorf("retained capture %s is stale", c.Name)
+		}
+	}
+}
+
+func TestRingByteBound(t *testing.T) {
+	r := testRing(t, Options{MaxBytes: 1}) // absurdly small: everything but the newest must go
+	if err := r.CaptureNow(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	caps, _ := r.List()
+	// Eviction stops at the last file even when it alone exceeds the
+	// byte bound — an empty ring would defeat the purpose.
+	if len(caps) != 1 {
+		t.Fatalf("got %d captures, want 1 under a 1-byte bound", len(caps))
+	}
+}
+
+func TestRestartSweepsAndRebounds(t *testing.T) {
+	dir := t.TempDir()
+	r := testRing(t, Options{Dir: dir})
+	if err := r.CaptureNow(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a crash mid-capture plus a too-full ring from a prior run.
+	os.WriteFile(filepath.Join(dir, "cpu-crash.pprof.123.tmp"), []byte("partial"), 0o644)
+	r2 := testRing(t, Options{Dir: dir, MaxCaptures: 1})
+	if _, err := os.Stat(filepath.Join(dir, "cpu-crash.pprof.123.tmp")); !os.IsNotExist(err) {
+		t.Error("leftover .tmp not swept on restart")
+	}
+	caps, _ := r2.List()
+	if len(caps) != 1 {
+		t.Errorf("restart kept %d captures, want re-bounded to 1", len(caps))
+	}
+}
+
+func TestOpenRejectsTraversal(t *testing.T) {
+	r := testRing(t, Options{})
+	for _, name := range []string{
+		"../prof.go", "..%2Fprof.go", "sub/heap-x.pprof", ".hidden.pprof", "cpu-x.txt", "",
+	} {
+		if f, err := r.Open(name); err == nil {
+			f.Close()
+			t.Errorf("Open(%q) succeeded, want rejection", name)
+		}
+	}
+}
+
+func TestHandler(t *testing.T) {
+	r := testRing(t, Options{})
+	if err := r.CaptureNow(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(http.StripPrefix("/debug/profiles", r.Handler()))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/debug/profiles/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var list struct {
+		Captures []Capture `json:"captures"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list.Captures) != 2 {
+		t.Fatalf("list returned %d captures, want 2", len(list.Captures))
+	}
+
+	dl, err := http.Get(srv.URL + "/debug/profiles/" + list.Captures[0].Name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dl.Body.Close()
+	if dl.StatusCode != http.StatusOK {
+		t.Fatalf("download status = %d, want 200", dl.StatusCode)
+	}
+
+	nf, _ := http.Get(srv.URL + "/debug/profiles/heap-nope.pprof")
+	nf.Body.Close()
+	if nf.StatusCode != http.StatusNotFound {
+		t.Errorf("missing capture status = %d, want 404", nf.StatusCode)
+	}
+}
+
+func TestStartStop(t *testing.T) {
+	r := testRing(t, Options{Interval: 20 * time.Millisecond, CPUDuration: 5 * time.Millisecond})
+	r.Start()
+	time.Sleep(60 * time.Millisecond)
+	r.Stop()
+	r.Stop() // idempotent
+	caps, _ := r.List()
+	if len(caps) == 0 {
+		t.Fatal("periodic loop took no captures")
+	}
+}

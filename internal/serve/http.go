@@ -53,6 +53,10 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /api/v1/jobs/{id}/report", s.handleReport)
 	mux.HandleFunc("GET /api/v1/corpus", s.handleCorpus)
 	mux.HandleFunc("GET /api/v1/cache", s.handleCache)
+	if s.profRing != nil {
+		mux.Handle("GET /debug/profiles/",
+			http.StripPrefix("/debug/profiles", s.profRing.Handler()))
+	}
 	return s.accessLog(mux)
 }
 

@@ -1,0 +1,66 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"testing"
+	"time"
+
+	"seqver/internal/prof"
+)
+
+// TestProfilesEndpoint drives the profiling ring through the daemon's
+// full handler: with Options.ProfileDir set, /debug/profiles lists
+// captures and serves their bytes; without it, the route is absent.
+func TestProfilesEndpoint(t *testing.T) {
+	s, ts := newTestServer(t, Options{
+		ProfileDir:         t.TempDir(),
+		ProfileInterval:    time.Hour, // periodic loop stays quiet; we capture explicitly
+		ProfileCPUDuration: 10 * time.Millisecond,
+	})
+	if err := s.profRing.CaptureNow(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := http.Get(ts.URL + "/debug/profiles/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("list status = %d, want 200", resp.StatusCode)
+	}
+	var list struct {
+		Captures []prof.Capture `json:"captures"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list.Captures) != 2 {
+		t.Fatalf("listed %d captures, want 2 (cpu+heap)", len(list.Captures))
+	}
+
+	dl, err := http.Get(ts.URL + "/debug/profiles/" + list.Captures[0].Name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dl.Body.Close()
+	body, _ := io.ReadAll(dl.Body)
+	if dl.StatusCode != http.StatusOK || len(body) == 0 {
+		t.Fatalf("download status = %d, %d bytes; want 200 with content", dl.StatusCode, len(body))
+	}
+}
+
+func TestProfilesEndpointAbsentWithoutDir(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	resp, err := http.Get(ts.URL + "/debug/profiles/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("status = %d, want 404 when profiling is off", resp.StatusCode)
+	}
+}

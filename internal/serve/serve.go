@@ -23,6 +23,7 @@ import (
 	"seqver/internal/metrics"
 	"seqver/internal/netlist"
 	"seqver/internal/obs"
+	"seqver/internal/prof"
 )
 
 // Options configures a Server. Zero values select the documented
@@ -95,6 +96,17 @@ type Options struct {
 	// base·2^(attempt-1) + jitter, capped at max (defaults 500ms / 30s).
 	RetryBaseBackoff time.Duration
 	RetryMaxBackoff  time.Duration
+
+	// ProfileDir, when non-empty, arms the continuous profiling ring:
+	// periodic CPU+heap pprof captures into a bounded directory under
+	// ProfileDir, listed and downloadable at /debug/profiles. The
+	// remaining Profile* knobs take prof.Options defaults when zero
+	// (60 s interval, 10 s CPU sample, 32 captures, 64 MiB).
+	ProfileDir         string
+	ProfileInterval    time.Duration
+	ProfileCPUDuration time.Duration
+	ProfileMaxCaptures int
+	ProfileMaxBytes    int64
 }
 
 func (o *Options) defaults() {
@@ -158,10 +170,11 @@ type Server struct {
 	journal *journal // nil when JournalDir is empty
 	log     *slog.Logger
 
-	tsr     *metrics.TimeSeries
-	sampler *metrics.Sampler
-	slo     *metrics.SLOTracker // nil without objectives (no-op methods)
-	ready   atomic.Bool
+	tsr      *metrics.TimeSeries
+	sampler  *metrics.Sampler
+	slo      *metrics.SLOTracker // nil without objectives (no-op methods)
+	profRing *prof.Ring          // nil without Options.ProfileDir
+	ready    atomic.Bool
 
 	mu          sync.Mutex
 	jobs        map[string]*Job
@@ -230,6 +243,24 @@ func New(opt Options) (*Server, error) {
 		jobSeconds: opt.Registry.Histogram("seqver_job_seconds",
 			"Wall clock of finished jobs, submission to verdict."),
 	}
+	if opt.ProfileDir != "" {
+		ring, err := prof.New(prof.Options{
+			Dir:         opt.ProfileDir,
+			Interval:    opt.ProfileInterval,
+			CPUDuration: opt.ProfileCPUDuration,
+			MaxCaptures: opt.ProfileMaxCaptures,
+			MaxBytes:    opt.ProfileMaxBytes,
+			Registry:    opt.Registry,
+			Logger:      logger,
+		})
+		if err != nil {
+			cancel()
+			jn.close()
+			return nil, err
+		}
+		ring.Start()
+		s.profRing = ring
+	}
 	s.recover(recovered)
 	s.compactJournal()
 	for i := 0; i < opt.Workers; i++ {
@@ -270,8 +301,10 @@ func (s *Server) collector() func(time.Time) metrics.Sample {
 	prev := read()
 	prevHist := s.jobSeconds.Snapshot()
 	prevT := time.Now()
+	rtc := metrics.NewRuntimeCollector(s.reg)
 	return func(now time.Time) metrics.Sample {
 		s.slo.Tick()
+		rt := rtc.Collect(now)
 		cur := read()
 		hist := s.jobSeconds.Snapshot()
 		dt := now.Sub(prevT).Seconds()
@@ -286,6 +319,11 @@ func (s *Server) collector() func(time.Time) metrics.Sample {
 			UndecidedPerSec: float64(cur.undecided-prev.undecided) / dt,
 			FailedPerSec:    float64(cur.failed-prev.failed) / dt,
 			RejectedPerSec:  float64(cur.rejected-prev.rejected) / dt,
+
+			HeapInuseBytes:    rt.HeapInuseBytes,
+			Goroutines:        rt.Goroutines,
+			AllocBytesPerSec:  rt.AllocBytesPerSec,
+			GCPauseP99Seconds: rt.GCPauseP99Seconds,
 		}
 		if cs := s.cache.Stats(); cs.Hits+cs.Misses > 0 {
 			smp.CacheHitRatio = float64(cs.Hits) / float64(cs.Hits+cs.Misses)
@@ -563,6 +601,9 @@ func (s *Server) Drain(timeout time.Duration) {
 		// The final drain sample closes the time series at the instant the
 		// pool went idle, then the journal compacts and closes.
 		s.sampler.Stop()
+		if s.profRing != nil {
+			s.profRing.Stop()
+		}
 		s.compactJournal()
 		s.journal.close()
 		s.log.Info("drained")
@@ -663,6 +704,11 @@ func (s *Server) run(j *Job) {
 	// the pipeline opens and every slog line under this context carries
 	// job_id without the call sites knowing about it.
 	ctx = obs.WithBaggage(ctx, obs.S("job_id", j.ID))
+	// The same id becomes a runtime/pprof goroutine label, inherited by
+	// every goroutine the attempt spawns (miter pool included), so CPU
+	// and goroutine profiles slice by job even with the tracer off.
+	ctx, unlabel := obs.GoroutineLabels(ctx)
+	defer unlabel()
 	ctx, cancel := context.WithCancel(ctx)
 	attempt := j.setRunning(cancel)
 	s.journalAppend(journalRecord{Op: jopStarted, ID: j.ID, Attempt: attempt})
